@@ -1,0 +1,94 @@
+//! Elephant/mice threshold selection.
+//!
+//! The paper sets the classification threshold *empirically* on the
+//! workload: "The elephant-mice threshold is set such that 90% of
+//! payments are mice" (§4.1). Figure 10 sweeps this fraction from 0% to
+//! 100% to show the performance/overhead trade-off.
+
+use pcn_types::Amount;
+
+/// Returns the threshold amount such that (approximately) `mice_fraction`
+/// of the given payment sizes are classified as mice (i.e. are ≤ the
+/// threshold; [`pcn_types::Payment::classify`] treats strictly-greater
+/// amounts as elephants).
+///
+/// Edge behaviour mirrors Figure 10's sweep endpoints:
+/// * `mice_fraction = 0.0` → `Amount::ZERO`: every non-zero payment is an
+///   elephant ("Flash routes mice payments in the same way as elephant
+///   payments when m = 0" uses the same trick).
+/// * `mice_fraction = 1.0` → `Amount::MAX`: everything is mice.
+///
+/// # Panics
+/// Panics if `mice_fraction` is outside `[0, 1]` or not finite.
+pub fn threshold_for_mice_fraction(amounts: &[Amount], mice_fraction: f64) -> Amount {
+    assert!(
+        mice_fraction.is_finite() && (0.0..=1.0).contains(&mice_fraction),
+        "mice_fraction must be within [0, 1]"
+    );
+    if mice_fraction <= 0.0 {
+        return Amount::ZERO;
+    }
+    if mice_fraction >= 1.0 || amounts.is_empty() {
+        return Amount::MAX;
+    }
+    let mut sorted: Vec<Amount> = amounts.to_vec();
+    sorted.sort_unstable();
+    // The smallest threshold T with |{a : a ≤ T}| ≥ ceil(frac·n): pick the
+    // element at rank ceil(frac·n) − 1.
+    let n = sorted.len();
+    let rank = ((mice_fraction * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units(v: &[u64]) -> Vec<Amount> {
+        v.iter().map(|&x| Amount::from_units(x)).collect()
+    }
+
+    #[test]
+    fn ninety_percent_mice() {
+        let amounts = units(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 100]);
+        let t = threshold_for_mice_fraction(&amounts, 0.9);
+        assert_eq!(t, Amount::from_units(9));
+        let mice = amounts.iter().filter(|a| **a <= t).count();
+        assert_eq!(mice, 9);
+    }
+
+    #[test]
+    fn endpoints() {
+        let amounts = units(&[5, 10]);
+        assert_eq!(threshold_for_mice_fraction(&amounts, 0.0), Amount::ZERO);
+        assert_eq!(threshold_for_mice_fraction(&amounts, 1.0), Amount::MAX);
+    }
+
+    #[test]
+    fn empty_slice_everything_is_mice() {
+        assert_eq!(threshold_for_mice_fraction(&[], 0.5), Amount::MAX);
+    }
+
+    #[test]
+    fn half_fraction_is_median() {
+        let amounts = units(&[1, 2, 3, 4]);
+        let t = threshold_for_mice_fraction(&amounts, 0.5);
+        assert_eq!(t, Amount::from_units(2));
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let amounts = units(&[5, 5, 5, 5, 100]);
+        let t = threshold_for_mice_fraction(&amounts, 0.8);
+        assert_eq!(t, Amount::from_units(5));
+        // All the 5s are ≤ threshold → 80% mice, as requested.
+        let mice = amounts.iter().filter(|a| **a <= t).count();
+        assert_eq!(mice, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_out_of_range() {
+        threshold_for_mice_fraction(&[], 1.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! The mice routing table (§3.3 path finding).
+//!
+//! "Each node maintains a routing table for mice payments. It contains
+//! paths for the unique receivers of this node. Upon seeing a new
+//! receiver that does not exist in the routing table, the node computes
+//! top-m shortest paths (i.e. using Yen's algorithm) on the local
+//! topology G, and adds them to the routing table."
+//!
+//! This implementation keys entries by `(sender, receiver)` because one
+//! `FlashRouter` instance simulates every node's local state at once;
+//! the per-sender view is identical to per-node tables.
+
+use pcn_graph::{yen, DiGraph, Path};
+use pcn_types::NodeId;
+use std::collections::HashMap;
+
+/// One routing-table entry.
+#[derive(Clone, Debug)]
+struct TableEntry {
+    /// Cached top-m (plus replacements) shortest paths.
+    paths: Vec<Path>,
+    /// How many Yen paths have been consumed so far (m + replacements);
+    /// the next replacement takes the path at this rank.
+    yen_cursor: usize,
+    /// Logical timestamp of the last lookup (for TTL eviction).
+    last_used: u64,
+}
+
+/// The per-(sender, receiver) mice routing table.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    m: usize,
+    ttl: u64,
+    entries: HashMap<(NodeId, NodeId), TableEntry>,
+}
+
+impl RoutingTable {
+    /// Creates a table caching `m` paths per receiver, evicting entries
+    /// unused for `ttl` lookups.
+    pub fn new(m: usize, ttl: u64) -> Self {
+        RoutingTable {
+            m,
+            ttl,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of cached (sender, receiver) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the cached paths for `(s, t)`, computing the top-m Yen
+    /// shortest paths on a miss ("path finding is simplified into table
+    /// lookups in most cases"). `now` stamps the entry for TTL purposes.
+    pub fn lookup_or_compute(
+        &mut self,
+        g: &DiGraph,
+        s: NodeId,
+        t: NodeId,
+        now: u64,
+    ) -> Vec<Path> {
+        let m = self.m;
+        let entry = self.entries.entry((s, t)).or_insert_with(|| TableEntry {
+            paths: yen::k_shortest_paths_hops(g, s, t, m),
+            yen_cursor: m,
+            last_used: now,
+        });
+        entry.last_used = now;
+        entry.paths.clone()
+    }
+
+    /// Replaces the path at `idx` with the next-ranked Yen shortest path
+    /// ("when a payment encounters an unaccessible path with zero
+    /// effective capacity or no connectivity, Flash replaces it with the
+    /// next top shortest path"). If the graph has no further simple
+    /// path, the dead path is simply dropped.
+    pub fn replace_path(&mut self, g: &DiGraph, s: NodeId, t: NodeId, idx: usize) {
+        let Some(entry) = self.entries.get_mut(&(s, t)) else {
+            return;
+        };
+        if idx >= entry.paths.len() {
+            return;
+        }
+        let want = entry.yen_cursor + 1;
+        let all = yen::k_shortest_paths_hops(g, s, t, want);
+        if all.len() >= want {
+            entry.paths[idx] = all[want - 1].clone();
+        } else {
+            entry.paths.remove(idx);
+        }
+        entry.yen_cursor = want;
+    }
+
+    /// Evicts entries unused for longer than the TTL.
+    pub fn evict_stale(&mut self, now: u64) {
+        let ttl = self.ttl;
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.last_used) <= ttl);
+    }
+
+    /// Drops every entry; they will be recomputed lazily against the new
+    /// topology (the periodic refresh of §3.3).
+    pub fn refresh(&mut self, _g: &DiGraph) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Diamond + long detour: at least 3 simple paths 0 → 3.
+    fn graph() -> DiGraph {
+        let mut g = DiGraph::new(5);
+        for (u, v) in [(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 2)] {
+            g.add_edge(n(u), n(v)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn miss_computes_top_m() {
+        let g = graph();
+        let mut t = RoutingTable::new(2, 100);
+        let paths = t.lookup_or_compute(&g, n(0), n(3), 1);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].hops(), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn hit_reuses_cached_paths() {
+        let g = graph();
+        let mut t = RoutingTable::new(2, 100);
+        let a = t.lookup_or_compute(&g, n(0), n(3), 1);
+        let b = t.lookup_or_compute(&g, n(0), n(3), 2);
+        assert_eq!(
+            a.iter().map(|p| p.nodes().to_vec()).collect::<Vec<_>>(),
+            b.iter().map(|p| p.nodes().to_vec()).collect::<Vec<_>>()
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replacement_advances_to_next_yen_path() {
+        let g = graph();
+        let mut t = RoutingTable::new(2, 100);
+        let before = t.lookup_or_compute(&g, n(0), n(3), 1);
+        t.replace_path(&g, n(0), n(3), 0);
+        let after = t.lookup_or_compute(&g, n(0), n(3), 2);
+        assert_eq!(after.len(), 2);
+        // Slot 0 now holds the 3rd Yen path (the 3-hop detour).
+        assert_eq!(after[0].hops(), 3);
+        assert_ne!(before[0].nodes(), after[0].nodes());
+    }
+
+    #[test]
+    fn replacement_exhaustion_drops_path() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(n(0), n(1)).unwrap();
+        let mut t = RoutingTable::new(1, 100);
+        let paths = t.lookup_or_compute(&g, n(0), n(1), 1);
+        assert_eq!(paths.len(), 1);
+        // Only one simple path exists; replacing it leaves nothing.
+        t.replace_path(&g, n(0), n(1), 0);
+        let paths = t.lookup_or_compute(&g, n(0), n(1), 2);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn ttl_eviction() {
+        let g = graph();
+        let mut t = RoutingTable::new(2, 10);
+        t.lookup_or_compute(&g, n(0), n(3), 1);
+        t.lookup_or_compute(&g, n(1), n(3), 5);
+        t.evict_stale(12);
+        // Entry stamped at 1 is stale (12 − 1 > 10); the one at 5 lives.
+        assert_eq!(t.len(), 1);
+        t.evict_stale(100);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn refresh_clears_everything() {
+        let g = graph();
+        let mut t = RoutingTable::new(2, 100);
+        t.lookup_or_compute(&g, n(0), n(3), 1);
+        t.lookup_or_compute(&g, n(2), n(3), 1);
+        assert_eq!(t.len(), 2);
+        t.refresh(&g);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unreachable_receiver_yields_empty_entry() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        let mut t = RoutingTable::new(4, 100);
+        let paths = t.lookup_or_compute(&g, n(0), n(2), 1);
+        assert!(paths.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! The Flash routing protocol (§3 of the paper).
+//!
+//! Flash is "a distributed online routing system that processes each
+//! transaction as it arrives at the sender". It differentiates elephant
+//! and mice payments:
+//!
+//! * **Elephants** ([`elephant`]): a modified Edmonds–Karp search
+//!   (Algorithm 1) finds at most `k` BFS-shortest paths on the residual
+//!   topology, probing channel balances lazily; [`fees`] then splits the
+//!   demand across the discovered paths, minimizing total transaction
+//!   fees with a linear program (program (1) of §3.2).
+//! * **Mice** ([`mice`]): a per-receiver routing table caches the top-`m`
+//!   Yen shortest paths; a random trial-and-error loop sends the full
+//!   remaining amount on each path, probing a path only after it fails.
+
+pub mod elephant;
+pub mod fees;
+pub mod mice;
+
+use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_types::{Amount, Payment, PaymentClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`FlashRouter`].
+#[derive(Clone, Debug)]
+pub struct FlashConfig {
+    /// Maximum number of paths probed for an elephant payment
+    /// ("setting k between 20 to 30 provides good performance"; the
+    /// evaluation uses 20).
+    pub max_elephant_paths: usize,
+    /// Paths cached per receiver for mice payments (`m = 4` in the
+    /// evaluation).
+    pub mice_paths_per_receiver: usize,
+    /// Payments with amount strictly greater than this are elephants.
+    /// Set with [`crate::classify::threshold_for_mice_fraction`] so that
+    /// 90% of payments are mice, as in §4.1.
+    pub elephant_threshold: Amount,
+    /// Whether to run the fee-minimizing LP for elephants (Figure 9's
+    /// ablation disables this, falling back to sequential path filling
+    /// in discovery order).
+    pub optimize_fees: bool,
+    /// Routing-table entries unused for this many payments are evicted
+    /// ("Timeouts are used to remove receivers ... to limit the routing
+    /// table size").
+    pub table_ttl: u64,
+    /// RNG seed for the random path order in mice trial-and-error.
+    pub seed: u64,
+}
+
+impl Default for FlashConfig {
+    fn default() -> Self {
+        FlashConfig {
+            max_elephant_paths: 20,
+            mice_paths_per_receiver: 4,
+            elephant_threshold: Amount::MAX,
+            optimize_fees: true,
+            table_ttl: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// The Flash router.
+pub struct FlashRouter {
+    config: FlashConfig,
+    table: mice::RoutingTable,
+    rng: StdRng,
+    clock: u64,
+}
+
+impl FlashRouter {
+    /// Creates a Flash router from a configuration.
+    pub fn new(config: FlashConfig) -> Self {
+        let table = mice::RoutingTable::new(config.mice_paths_per_receiver, config.table_ttl);
+        let rng = StdRng::seed_from_u64(config.seed);
+        FlashRouter {
+            config,
+            table,
+            rng,
+            clock: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FlashConfig {
+        &self.config
+    }
+
+    /// Number of (sender, receiver) entries currently cached in the mice
+    /// routing table.
+    pub fn routing_table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Routes a payment with the elephant algorithm: Algorithm 1 + the
+    /// fee-minimizing split. `class` is normally `Elephant`, but the
+    /// Figure 11 `m = 0` configuration routes mice this way too (the
+    /// paper's "performance upperbound" baseline) — metrics then still
+    /// attribute the payment to the mice class.
+    fn route_elephant(
+        &mut self,
+        net: &mut Network,
+        payment: &Payment,
+        class: PaymentClass,
+    ) -> RouteOutcome {
+        let plan = elephant::find_paths(
+            net,
+            payment.sender,
+            payment.receiver,
+            payment.amount,
+            self.config.max_elephant_paths,
+        );
+        if plan.paths.is_empty() {
+            let session = net.begin_payment(payment, class);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::NoRoute);
+        }
+        if plan.max_flow < payment.amount {
+            // Algorithm 1 line 28: demand unsatisfiable over ≤ k paths.
+            let session = net.begin_payment(payment, class);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
+        }
+        let Some(parts) = fees::split_payment(
+            net.graph(),
+            &plan,
+            payment.amount,
+            self.config.optimize_fees,
+        ) else {
+            let session = net.begin_payment(payment, class);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
+        };
+        let mut session = net.begin_payment(payment, class);
+        for (path, amount) in &parts {
+            if amount.is_zero() {
+                continue;
+            }
+            if session.try_send_part(path, *amount).is_err() {
+                session.abort();
+                return RouteOutcome::failure(FailureReason::InsufficientCapacity);
+            }
+        }
+        if !session.is_satisfied() {
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
+        }
+        session.commit()
+    }
+
+    /// Routes a mice payment via the routing table + trial-and-error.
+    fn route_mice(&mut self, net: &mut Network, payment: &Payment) -> RouteOutcome {
+        self.clock += 1;
+        self.table.evict_stale(self.clock);
+        let paths = self
+            .table
+            .lookup_or_compute(net.graph(), payment.sender, payment.receiver, self.clock);
+        if paths.is_empty() {
+            let session = net.begin_payment(payment, PaymentClass::Mice);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::NoRoute);
+        }
+        // Random path order: "Instead of following a fixed order ...
+        // Flash randomly picks the paths to better load balance them".
+        let mut order: Vec<usize> = (0..paths.len()).collect();
+        partial_shuffle(&mut order, &mut self.rng);
+
+        let mut dead_paths: Vec<usize> = Vec::new();
+        let mut session = net.begin_payment(payment, PaymentClass::Mice);
+        for &idx in &order {
+            if session.is_satisfied() {
+                break;
+            }
+            let path = &paths[idx];
+            let remaining = session.remaining();
+            // First try the full remaining amount — no probe needed when
+            // it goes through ("it only probes a path when it cannot
+            // deliver the payment in full").
+            if session.try_send_part(path, remaining).is_ok() {
+                break;
+            }
+            // Probe to learn the effective capacity, then send that much.
+            let Some(report) = session.probe_path(path) else {
+                continue; // probe lost under fault injection
+            };
+            let cp = report.bottleneck().min(session.remaining());
+            if cp.is_zero() {
+                dead_paths.push(idx);
+                continue;
+            }
+            if session.try_send_part(path, cp).is_err() {
+                // Probe raced a fault distortion; skip the path.
+                continue;
+            }
+        }
+        let outcome = if session.is_satisfied() {
+            session.commit()
+        } else {
+            session.abort();
+            RouteOutcome::failure(FailureReason::InsufficientCapacity)
+        };
+        // Replace zero-capacity paths with the next top shortest path.
+        for idx in dead_paths {
+            self.table
+                .replace_path(net.graph(), payment.sender, payment.receiver, idx);
+        }
+        outcome
+    }
+}
+
+/// Fisher–Yates shuffle via the router's own RNG (avoids depending on
+/// `rand::seq` trait imports at every call site).
+fn partial_shuffle(xs: &mut [usize], rng: &mut StdRng) {
+    use rand::RngExt;
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+impl Router for FlashRouter {
+    fn name(&self) -> &'static str {
+        "Flash"
+    }
+
+    fn route(
+        &mut self,
+        net: &mut Network,
+        payment: &Payment,
+        class: PaymentClass,
+    ) -> RouteOutcome {
+        match class {
+            PaymentClass::Elephant => self.route_elephant(net, payment, class),
+            // The m = 0 configuration routes mice with the elephant
+            // machinery (Figure 11's upper-bound baseline).
+            PaymentClass::Mice if self.config.mice_paths_per_receiver == 0 => {
+                self.route_elephant(net, payment, class)
+            }
+            PaymentClass::Mice => self.route_mice(net, payment),
+        }
+    }
+
+    fn on_topology_refresh(&mut self, net: &Network) {
+        // "The routing table is periodically refreshed when the local
+        // network topology G is updated ... all entries are re-computed
+        // using the latest G."
+        self.table.refresh(net.graph());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_graph::DiGraph;
+    use pcn_types::{NodeId, TxId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Diamond with two 2-hop routes of 10 each.
+    fn diamond_net() -> Network {
+        let mut g = DiGraph::new(4);
+        g.add_channel(n(0), n(1)).unwrap();
+        g.add_channel(n(1), n(3)).unwrap();
+        g.add_channel(n(0), n(2)).unwrap();
+        g.add_channel(n(2), n(3)).unwrap();
+        Network::uniform(g, Amount::from_units(10))
+    }
+
+    fn flash() -> FlashRouter {
+        FlashRouter::new(FlashConfig {
+            elephant_threshold: Amount::from_units(5),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn elephant_splits_across_paths() {
+        let mut net = diamond_net();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(15));
+        let out = flash().route(&mut net, &p, PaymentClass::Elephant);
+        assert!(out.is_success(), "15 needs both 10-unit routes: {out:?}");
+        match out {
+            RouteOutcome::Success { paths_used, .. } => assert!(paths_used >= 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn elephant_fails_beyond_max_flow() {
+        let mut net = diamond_net();
+        let before = net.total_funds();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(21));
+        let out = flash().route(&mut net, &p, PaymentClass::Elephant);
+        assert_eq!(
+            out,
+            RouteOutcome::failure(FailureReason::InsufficientCapacity)
+        );
+        assert_eq!(net.total_funds(), before);
+    }
+
+    #[test]
+    fn mice_first_attempt_needs_no_probe() {
+        let mut net = diamond_net();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(2));
+        let mut r = flash();
+        let out = r.route(&mut net, &p, PaymentClass::Mice);
+        assert!(out.is_success());
+        assert_eq!(
+            net.metrics().probe_messages,
+            0,
+            "small mice payment must go through without probing"
+        );
+    }
+
+    #[test]
+    fn mice_trial_and_error_splits_when_needed() {
+        let mut net = diamond_net();
+        // 14 > any single 10-unit path: first attempt fails, probe, send
+        // 10, second path carries 4.
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(14));
+        let mut r = flash();
+        let out = r.route(&mut net, &p, PaymentClass::Mice);
+        assert!(out.is_success(), "{out:?}");
+        assert!(net.metrics().probe_messages > 0);
+    }
+
+    #[test]
+    fn mice_failure_is_atomic() {
+        let mut net = diamond_net();
+        let before = net.total_funds();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(30));
+        let out = flash().route(&mut net, &p, PaymentClass::Mice);
+        assert!(!out.is_success());
+        assert_eq!(net.total_funds(), before);
+    }
+
+    #[test]
+    fn routing_table_caches_receivers() {
+        let mut net = diamond_net();
+        let mut r = flash();
+        let p1 = Payment::new(TxId(1), n(0), n(3), Amount::from_units(1));
+        r.route(&mut net, &p1, PaymentClass::Mice);
+        assert_eq!(r.routing_table_len(), 1);
+        let p2 = Payment::new(TxId(2), n(0), n(3), Amount::from_units(1));
+        r.route(&mut net, &p2, PaymentClass::Mice);
+        assert_eq!(r.routing_table_len(), 1, "recurring receiver reuses entry");
+        let p3 = Payment::new(TxId(3), n(1), n(2), Amount::from_units(1));
+        r.route(&mut net, &p3, PaymentClass::Mice);
+        assert_eq!(r.routing_table_len(), 2);
+    }
+
+    #[test]
+    fn topology_refresh_clears_table() {
+        let mut net = diamond_net();
+        let mut r = flash();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(1));
+        r.route(&mut net, &p, PaymentClass::Mice);
+        assert_eq!(r.routing_table_len(), 1);
+        r.on_topology_refresh(&net);
+        assert_eq!(r.routing_table_len(), 0);
+    }
+
+    #[test]
+    fn no_route_failure() {
+        let mut g = DiGraph::new(3);
+        g.add_channel(n(0), n(1)).unwrap();
+        let mut net = Network::uniform(g, Amount::from_units(10));
+        let mut r = flash();
+        let p = Payment::new(TxId(1), n(0), n(2), Amount::from_units(1));
+        assert_eq!(
+            r.route(&mut net, &p, PaymentClass::Mice),
+            RouteOutcome::failure(FailureReason::NoRoute)
+        );
+        let p = Payment::new(TxId(2), n(0), n(2), Amount::from_units(100));
+        assert_eq!(
+            r.route(&mut net, &p, PaymentClass::Elephant),
+            RouteOutcome::failure(FailureReason::NoRoute)
+        );
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed: u64| {
+            let mut net = diamond_net();
+            let mut r = FlashRouter::new(FlashConfig {
+                elephant_threshold: Amount::from_units(5),
+                seed,
+                ..Default::default()
+            });
+            let mut outs = Vec::new();
+            for i in 0..10 {
+                let p = Payment::new(
+                    TxId(i),
+                    n((i % 4) as u32),
+                    n(((i + 2) % 4) as u32),
+                    Amount::from_units(3 + i % 5),
+                );
+                if p.sender != p.receiver {
+                    outs.push(r.route(&mut net, &p, PaymentClass::Mice));
+                }
+            }
+            outs
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

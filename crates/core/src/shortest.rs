@@ -1,0 +1,93 @@
+//! Shortest Path (SP) baseline.
+//!
+//! "SP uses the path with the fewest hops between the sender and receiver
+//! to route a payment" (§4.1). It is a static scheme: no probing, a
+//! single path, the full amount — the payment succeeds only if every
+//! channel on the path holds the whole demand.
+
+use pcn_graph::bfs;
+use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_types::{Payment, PaymentClass};
+
+/// The fewest-hops single-path baseline router.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShortestPathRouter;
+
+impl ShortestPathRouter {
+    /// Creates the baseline router.
+    pub fn new() -> Self {
+        ShortestPathRouter
+    }
+}
+
+impl Router for ShortestPathRouter {
+    fn name(&self) -> &'static str {
+        "Shortest Path"
+    }
+
+    fn route(
+        &mut self,
+        net: &mut Network,
+        payment: &Payment,
+        class: PaymentClass,
+    ) -> RouteOutcome {
+        let Some(path) = bfs::shortest_path(net.graph(), payment.sender, payment.receiver)
+        else {
+            // Record the attempt for fair success-ratio accounting.
+            let session = net.begin_payment(payment, class);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::NoRoute);
+        };
+        net.send_single_path(payment, class, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_graph::DiGraph;
+    use pcn_types::{Amount, NodeId, TxId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn net() -> Network {
+        let mut g = DiGraph::new(4);
+        g.add_channel(n(0), n(1)).unwrap();
+        g.add_channel(n(1), n(3)).unwrap();
+        g.add_channel(n(0), n(2)).unwrap();
+        g.add_channel(n(2), n(3)).unwrap();
+        Network::uniform(g, Amount::from_units(10))
+    }
+
+    #[test]
+    fn delivers_within_capacity() {
+        let mut net = net();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(10));
+        let out = ShortestPathRouter.route(&mut net, &p, PaymentClass::Mice);
+        assert!(out.is_success());
+        assert_eq!(net.metrics().probe_messages, 0, "SP never probes");
+    }
+
+    #[test]
+    fn fails_beyond_single_path_capacity() {
+        let mut net = net();
+        // 11 > 10: SP cannot split across the two disjoint routes.
+        let p = Payment::new(TxId(2), n(0), n(3), Amount::from_units(11));
+        let out = ShortestPathRouter.route(&mut net, &p, PaymentClass::Mice);
+        assert!(!out.is_success());
+    }
+
+    #[test]
+    fn no_route_recorded_as_attempt() {
+        let mut g = DiGraph::new(3);
+        g.add_channel(n(0), n(1)).unwrap();
+        let mut net = Network::uniform(g, Amount::from_units(10));
+        let p = Payment::new(TxId(3), n(0), n(2), Amount::from_units(1));
+        let out = ShortestPathRouter.route(&mut net, &p, PaymentClass::Mice);
+        assert_eq!(out, RouteOutcome::failure(FailureReason::NoRoute));
+        assert_eq!(net.metrics().total().attempted, 1);
+        assert_eq!(net.metrics().total().succeeded, 0);
+    }
+}

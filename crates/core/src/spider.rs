@@ -1,0 +1,288 @@
+//! Spider baseline (Sivaraman et al., adapted as in the Flash paper).
+//!
+//! "The state-of-the-art offchain routing algorithm which considers the
+//! dynamics of channel balance. It balances paths by using those with
+//! maximum available capacity, following a 'waterfilling' heuristic. It
+//! uses 4 edge-disjoint paths for each payment" (§4.1).
+//!
+//! For every payment Spider (re)computes the edge-disjoint shortest
+//! paths, probes **all** of them (this is the probing overhead Figure 8
+//! measures), waterfills the demand across them, and sends atomically.
+
+use pcn_graph::{disjoint, Path};
+use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_types::{Amount, Payment, PaymentClass};
+
+/// The Spider waterfilling router.
+#[derive(Clone, Debug)]
+pub struct SpiderRouter {
+    /// Number of edge-disjoint paths per payment (4 in the paper).
+    pub num_paths: usize,
+}
+
+impl Default for SpiderRouter {
+    fn default() -> Self {
+        SpiderRouter { num_paths: 4 }
+    }
+}
+
+impl SpiderRouter {
+    /// Creates a Spider router with the paper's default of 4 paths.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a Spider router with a custom path count.
+    pub fn with_paths(num_paths: usize) -> Self {
+        SpiderRouter { num_paths }
+    }
+}
+
+/// Waterfilling allocation: given per-path capacities, splits `demand`
+/// so that the *residual* capacities are as equal as possible — flow is
+/// poured into the paths with maximum available capacity first.
+///
+/// Returns `None` when the total capacity cannot cover the demand.
+/// All arithmetic is exact (u128 intermediates).
+pub fn waterfill(capacities: &[Amount], demand: Amount) -> Option<Vec<Amount>> {
+    let total: u128 = capacities.iter().map(|c| c.micros() as u128).sum();
+    let d = demand.micros() as u128;
+    if total < d || capacities.is_empty() {
+        return None;
+    }
+    if d == 0 {
+        return Some(vec![Amount::ZERO; capacities.len()]);
+    }
+    // Sort indices by capacity descending.
+    let mut idx: Vec<usize> = (0..capacities.len()).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(capacities[i].micros()));
+    let caps: Vec<u128> = idx.iter().map(|&i| capacities[i].micros() as u128).collect();
+
+    // Find the number of active paths j and water level L such that
+    // Σ_{i<j} (c_i − L) = d with c_{j} ≤ L ≤ c_{j−1} (descending order).
+    let mut prefix = 0u128;
+    let mut j = caps.len();
+    for k in 1..=caps.len() {
+        prefix += caps[k - 1];
+        let next = if k < caps.len() { caps[k] } else { 0 };
+        // With k active paths, level L = (prefix − d) / k must be ≥ next
+        // to be consistent (otherwise more paths activate).
+        if prefix >= d && (prefix - d) / k as u128 >= next {
+            j = k;
+            break;
+        }
+    }
+    let prefix: u128 = caps[..j].iter().sum();
+    debug_assert!(prefix >= d);
+    let level = (prefix - d) / j as u128;
+    let mut rem = prefix - d - level * j as u128; // paths left one micro above level
+    let mut alloc = vec![Amount::ZERO; capacities.len()];
+    for (rank, &orig) in idx[..j].iter().enumerate() {
+        let c = caps[rank];
+        // Residual target: level (+1 for the first `rem` paths).
+        let target = if rem > 0 {
+            rem -= 1;
+            level + 1
+        } else {
+            level
+        };
+        let x = c.saturating_sub(target);
+        alloc[orig] = Amount::from_micros(u64::try_from(x).unwrap_or(u64::MAX));
+    }
+    debug_assert_eq!(
+        alloc.iter().map(|a| a.micros() as u128).sum::<u128>(),
+        d
+    );
+    Some(alloc)
+}
+
+impl Router for SpiderRouter {
+    fn name(&self) -> &'static str {
+        "Spider"
+    }
+
+    fn route(
+        &mut self,
+        net: &mut Network,
+        payment: &Payment,
+        class: PaymentClass,
+    ) -> RouteOutcome {
+        let paths: Vec<Path> = disjoint::edge_disjoint_paths(
+            net.graph(),
+            payment.sender,
+            payment.receiver,
+            self.num_paths,
+        );
+        if paths.is_empty() {
+            let session = net.begin_payment(payment, class);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::NoRoute);
+        }
+        // Probe every path — Spider "treats mice and elephant flows the
+        // same and always uses 4 shortest paths" (§4.2).
+        let mut capacities = Vec::with_capacity(paths.len());
+        for p in &paths {
+            match net.probe_path(p) {
+                Some(report) => capacities.push(report.bottleneck()),
+                None => capacities.push(Amount::ZERO),
+            }
+        }
+        let Some(alloc) = waterfill(&capacities, payment.amount) else {
+            let session = net.begin_payment(payment, class);
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
+        };
+        let mut session = net.begin_payment(payment, class);
+        for (p, amt) in paths.iter().zip(&alloc) {
+            if amt.is_zero() {
+                continue;
+            }
+            if session.try_send_part(p, *amt).is_err() {
+                session.abort();
+                return RouteOutcome::failure(FailureReason::InsufficientCapacity);
+            }
+        }
+        debug_assert!(session.is_satisfied());
+        session.commit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_graph::DiGraph;
+    use pcn_types::{NodeId, TxId};
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn units(v: &[u64]) -> Vec<Amount> {
+        v.iter().map(|&x| Amount::from_units(x)).collect()
+    }
+
+    #[test]
+    fn waterfill_prefers_big_paths() {
+        let alloc = waterfill(&units(&[10, 4, 2]), Amount::from_units(6)).unwrap();
+        // Pour 6 into the biggest: residuals become 4, 4, 2 — equalized
+        // at level 4 without touching the others.
+        assert_eq!(alloc, units(&[6, 0, 0]));
+    }
+
+    #[test]
+    fn waterfill_equalizes_residuals() {
+        let alloc = waterfill(&units(&[10, 8, 2]), Amount::from_units(10)).unwrap();
+        // Level: (18 − 10)/2 = 4 → allocations 6 and 4, path 3 untouched.
+        assert_eq!(alloc, units(&[6, 4, 0]));
+    }
+
+    #[test]
+    fn waterfill_exact_fit_uses_everything() {
+        let alloc = waterfill(&units(&[3, 2, 1]), Amount::from_units(6)).unwrap();
+        assert_eq!(alloc, units(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn waterfill_insufficient_is_none() {
+        assert!(waterfill(&units(&[1, 1]), Amount::from_units(3)).is_none());
+        assert!(waterfill(&[], Amount::from_units(1)).is_none());
+    }
+
+    #[test]
+    fn waterfill_zero_demand() {
+        let alloc = waterfill(&units(&[5]), Amount::ZERO).unwrap();
+        assert_eq!(alloc, units(&[0]));
+    }
+
+    proptest! {
+        #[test]
+        fn waterfill_allocation_is_valid(
+            caps in proptest::collection::vec(0u64..1000, 1..6),
+            d in 0u64..3000,
+        ) {
+            let caps: Vec<Amount> = caps.into_iter().map(Amount::from_micros).collect();
+            let demand = Amount::from_micros(d);
+            let total: u64 = caps.iter().map(|c| c.micros()).sum();
+            match waterfill(&caps, demand) {
+                Some(alloc) => {
+                    prop_assert!(total >= d);
+                    let sum: u64 = alloc.iter().map(|a| a.micros()).sum();
+                    prop_assert_eq!(sum, d);
+                    for (a, c) in alloc.iter().zip(&caps) {
+                        prop_assert!(a <= c, "allocation exceeds capacity");
+                    }
+                    // Waterfilling property: any path with leftover
+                    // capacity has residual ≥ residual of used paths − 1.
+                    let residuals: Vec<u64> = alloc.iter().zip(&caps)
+                        .map(|(a, c)| c.micros() - a.micros()).collect();
+                    let used_max = alloc.iter().zip(&residuals)
+                        .filter(|(a, _)| !a.is_zero())
+                        .map(|(_, r)| *r).max();
+                    if let Some(m) = used_max {
+                        for (a, r) in alloc.iter().zip(&residuals) {
+                            if a.is_zero() {
+                                prop_assert!(*r <= m + 1,
+                                    "unused path has more residual than used ones");
+                            }
+                        }
+                    }
+                }
+                None => prop_assert!(total < d),
+            }
+        }
+    }
+
+    /// Two disjoint 2-hop routes 0→3 with 10 each.
+    fn diamond_net() -> Network {
+        let mut g = DiGraph::new(4);
+        g.add_channel(n(0), n(1)).unwrap();
+        g.add_channel(n(1), n(3)).unwrap();
+        g.add_channel(n(0), n(2)).unwrap();
+        g.add_channel(n(2), n(3)).unwrap();
+        Network::uniform(g, Amount::from_units(10))
+    }
+
+    #[test]
+    fn spider_splits_across_disjoint_paths() {
+        let mut net = diamond_net();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(15));
+        let out = SpiderRouter::new().route(&mut net, &p, PaymentClass::Elephant);
+        assert!(out.is_success(), "15 > any single path but ≤ combined 20");
+        match out {
+            RouteOutcome::Success { paths_used, .. } => assert_eq!(paths_used, 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn spider_probes_every_path_every_payment() {
+        let mut net = diamond_net();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(1));
+        SpiderRouter::new().route(&mut net, &p, PaymentClass::Mice);
+        // Two 2-hop disjoint paths probed → 4 probe messages.
+        assert_eq!(net.metrics().probe_messages, 4);
+        let p2 = Payment::new(TxId(2), n(0), n(3), Amount::from_units(1));
+        SpiderRouter::new().route(&mut net, &p2, PaymentClass::Mice);
+        assert_eq!(net.metrics().probe_messages, 8);
+    }
+
+    #[test]
+    fn spider_fails_beyond_total_capacity() {
+        let mut net = diamond_net();
+        let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(21));
+        let out = SpiderRouter::new().route(&mut net, &p, PaymentClass::Elephant);
+        assert!(!out.is_success());
+        assert_eq!(net.total_funds(), Amount::from_units(80));
+    }
+
+    #[test]
+    fn spider_no_route() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(n(1), n(0)).unwrap();
+        let mut net = Network::uniform(g, Amount::from_units(10));
+        let p = Payment::new(TxId(1), n(0), n(1), Amount::from_units(1));
+        let out = SpiderRouter::new().route(&mut net, &p, PaymentClass::Mice);
+        assert_eq!(out, RouteOutcome::failure(FailureReason::NoRoute));
+    }
+}

@@ -1,0 +1,79 @@
+//! `flash-repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! flash-repro [--quick] [--out DIR] [--fig figN]...
+//! ```
+//!
+//! Without `--fig`, every figure is regenerated. Results are printed as
+//! markdown and also written to `DIR/<fig>.md` and `DIR/<fig>.csv`
+//! (default `results/`).
+
+use pcn_experiments::{figures, Effort, FigureResult};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut figs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--fig" => {
+                i += 1;
+                figs.push(args.get(i).expect("--fig needs a name").clone());
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: flash-repro [--quick] [--out DIR] [--fig figN]...");
+                eprintln!("figures: fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if figs.is_empty() {
+        figs = ["fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    for name in figs {
+        let started = std::time::Instant::now();
+        eprintln!("running {name} ({effort:?})...");
+        let results: Vec<FigureResult> = match name.as_str() {
+            "fig3" => figures::fig3::run(effort),
+            "fig4" => figures::fig4::run(effort),
+            "fig6" => figures::fig6::run(effort),
+            "fig7" => figures::fig7::run(effort),
+            "fig8" => figures::fig8::run(effort),
+            "fig9" => figures::fig9::run(effort),
+            "fig10" => figures::fig10::run(effort),
+            "fig11" => figures::fig11::run(effort),
+            "fig12" => figures::fig12::run(effort),
+            "fig13" => figures::fig13::run(effort),
+            other => {
+                eprintln!("unknown figure: {other}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("  done in {:.1?}", started.elapsed());
+        for fig in &results {
+            println!("{}", fig.to_markdown());
+            std::fs::write(out_dir.join(format!("{}.md", fig.id)), fig.to_markdown())
+                .expect("write markdown");
+            std::fs::write(out_dir.join(format!("{}.csv", fig.id)), fig.to_csv())
+                .expect("write csv");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 10: impact of the elephant/mice threshold — success volume
+//! and probing messages as the percentage of payments classified as
+//! mice sweeps 0% → 100%.
+
+use crate::harness::{run_scheme, Effort, SimScheme, Topo};
+use crate::report::{FigureResult, Series};
+
+/// Regenerates Figures 10a (Ripple) and 10b (Lightning).
+pub fn run(effort: Effort) -> Vec<FigureResult> {
+    let fractions: &[f64] = match effort {
+        Effort::Quick => &[0.0, 0.5, 0.9, 1.0],
+        // Paper: 0%..100% in 10% steps; 6 representative points here.
+        Effort::Paper => &[0.0, 0.9, 1.0],
+    };
+    let mut out = Vec::new();
+    for (topo, id) in [(Topo::Ripple, "fig10a"), (Topo::Lightning, "fig10b")] {
+        let mut fig = FigureResult::new(
+            id,
+            format!("Threshold sweep, {}", topo.name()),
+            "percentage of mice payments (%)",
+            "success volume / probe messages",
+        );
+        let mut vol = Series::new("Succ. Volume");
+        let mut probes = Series::new("Probing Messages");
+        for &frac in fractions {
+            let runs = effort.runs();
+            let (mut vol_acc, mut probe_acc) = (0.0, 0.0);
+            for r in 0..runs {
+                let seed = 500 + 1000 * r;
+                let mut net = topo.build_network(effort, seed);
+                net.scale_balances(10);
+                let trace = topo.build_trace(&net, effort.txns(), seed + 61);
+                let m = run_scheme(&net, SimScheme::Flash, &trace, frac, seed);
+                vol_acc += m.success_volume().as_units_f64();
+                probe_acc += m.probe_messages as f64;
+            }
+            vol.push(frac * 100.0, vol_acc / runs as f64);
+            probes.push(frac * 100.0, probe_acc / runs as f64);
+        }
+        fig.series.push(vol);
+        fig.series.push(probes);
+        out.push(fig);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probing_decreases_as_mice_fraction_grows() {
+        let figs = run(Effort::Quick);
+        assert_eq!(figs.len(), 2);
+        let probes = figs[0].series("Probing Messages").unwrap();
+        // "the probing overhead increases as the percentage of mice
+        // payments decreases".
+        let all_elephant = probes.y_at(0.0).unwrap();
+        let all_mice = probes.y_at(100.0).unwrap();
+        assert!(
+            all_elephant > all_mice,
+            "probes at 0% mice ({all_elephant}) should exceed 100% mice ({all_mice})"
+        );
+    }
+
+    #[test]
+    fn volume_stable_until_high_mice_fraction() {
+        let figs = run(Effort::Quick);
+        let vol = figs[0].series("Succ. Volume").unwrap();
+        let at_0 = vol.y_at(0.0).unwrap();
+        let at_90 = vol.y_at(90.0).unwrap();
+        // "success volume of mice payments remains stable until the
+        // percentage of mice reaches 80–90%" — at 90% mice, volume is
+        // still within a reasonable factor of the all-elephant bound.
+        assert!(
+            at_90 >= at_0 * 0.5,
+            "volume at 90% mice ({at_90}) collapsed vs all-elephant ({at_0})"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 12: testbed results on the 50-node Watts–Strogatz network.
+
+use super::testbed::run_testbed;
+use crate::harness::Effort;
+use crate::report::FigureResult;
+
+/// Regenerates Figures 12a–12d.
+pub fn run(effort: Effort) -> Vec<FigureResult> {
+    let nodes = match effort {
+        Effort::Quick => 20,
+        Effort::Paper => 50,
+    };
+    run_testbed(nodes, "fig12", effort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_panels_have_all_schemes() {
+        let figs = run(Effort::Quick);
+        assert_eq!(figs.len(), 4);
+        for fig in &figs {
+            assert_eq!(fig.series.len(), 3);
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 3, "{}/{}", fig.id, s.label);
+            }
+        }
+        // Flash success volume ≥ SP's in every interval (paper: much
+        // larger than Spider, far above SP).
+        let vol = &figs[0];
+        for i in 0..3 {
+            let f = vol.series("Flash").unwrap().y_at(i as f64).unwrap();
+            let sp = vol.series("SP").unwrap().y_at(i as f64).unwrap();
+            assert!(f >= sp * 0.8, "interval {i}: Flash {f} ≪ SP {sp}");
+        }
+        // SP's normalized delay is 1 by construction.
+        let delay = &figs[2];
+        for i in 0..3 {
+            let sp = delay.series("SP").unwrap().y_at(i as f64).unwrap();
+            assert!((sp - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 3: payment-size CDFs for Ripple (USD) and Bitcoin (satoshi).
+
+use crate::harness::Effort;
+use crate::report::{FigureResult, Series};
+use pcn_workload::stats::empirical_cdf;
+use pcn_workload::SizeModel;
+
+/// Regenerates Figures 3a and 3b.
+pub fn run(effort: Effort) -> Vec<FigureResult> {
+    let n = match effort {
+        Effort::Quick => 5_000,
+        Effort::Paper => 200_000,
+    };
+    let mut out = Vec::new();
+    for (id, title, model) in [
+        ("fig3a", "Payment size CDF, Ripple (USD)", SizeModel::RippleUsd),
+        (
+            "fig3b",
+            "Payment size CDF, Bitcoin (satoshi)",
+            SizeModel::BitcoinSatoshi,
+        ),
+    ] {
+        let samples: Vec<f64> = model
+            .sample_many(n, 3)
+            .iter()
+            .map(|a| a.as_units_f64())
+            .collect();
+        let cdf = empirical_cdf(&samples, 40);
+        let mut fig = FigureResult::new(id, title, "size", "CDF");
+        let mut series = Series::new("CDF");
+        for (v, f) in cdf {
+            series.push(v, f);
+        }
+        fig.series.push(series);
+        out.push(fig);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_two_monotone_cdfs() {
+        let figs = run(Effort::Quick);
+        assert_eq!(figs.len(), 2);
+        for fig in &figs {
+            let s = &fig.series[0];
+            assert!(s.points.len() > 10);
+            for w in s.points.windows(2) {
+                assert!(w[0].1 <= w[1].1, "{} CDF not monotone", fig.id);
+            }
+            assert!((s.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ripple_median_visible_in_cdf() {
+        let figs = run(Effort::Quick);
+        let s = &figs[0].series[0];
+        // The point nearest F = 0.5 should sit around $4.8.
+        let (v, _) = s
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap()
+            })
+            .unwrap();
+        assert!((1.0..30.0).contains(v), "median point {v} should be ≈ 4.8");
+    }
+}

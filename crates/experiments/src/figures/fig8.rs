@@ -1,0 +1,60 @@
+//! Figure 8: probing-message overhead, Flash vs Spider (2,000
+//! transactions, capacity scale factor 10). SpeedyMurmurs and SP are
+//! static schemes with zero probes and are excluded, as in the paper.
+
+use crate::harness::{run_scheme, Effort, SimScheme, Topo, DEFAULT_MICE_FRACTION};
+use crate::report::{FigureResult, Series};
+
+/// Regenerates Figures 8a (Ripple) and 8b (Lightning). X encodes the
+/// scheme index (0 = Flash, 1 = Spider) since the paper plots bars.
+pub fn run(effort: Effort) -> Vec<FigureResult> {
+    let mut out = Vec::new();
+    for (topo, id) in [(Topo::Ripple, "fig8a"), (Topo::Lightning, "fig8b")] {
+        let mut fig = FigureResult::new(
+            id,
+            format!("Probing messages, {}", topo.name()),
+            "scheme (0=Flash, 1=Spider)",
+            "number of probing messages",
+        );
+        for (x, scheme) in [(0.0, SimScheme::Flash), (1.0, SimScheme::Spider)] {
+            let runs = effort.runs();
+            let mut acc = 0.0;
+            for r in 0..runs {
+                let seed = 300 + 1000 * r;
+                let mut net = topo.build_network(effort, seed);
+                net.scale_balances(10);
+                let trace = topo.build_trace(&net, effort.txns(), seed + 41);
+                let m = run_scheme(&net, scheme, &trace, DEFAULT_MICE_FRACTION, seed);
+                acc += m.probe_messages as f64;
+            }
+            let mut s = Series::new(scheme.label());
+            s.push(x, acc / runs as f64);
+            fig.series.push(s);
+        }
+        out.push(fig);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_probes_less_than_spider() {
+        let figs = run(Effort::Quick);
+        assert_eq!(figs.len(), 2);
+        for fig in &figs {
+            let flash = fig.series("Flash").unwrap().points[0].1;
+            let spider = fig.series("Spider").unwrap().points[0].1;
+            // "Flash saves 43% message overhead in Ripple and 37% in
+            // Lightning" — assert the direction with slack at quick
+            // scale.
+            assert!(
+                flash < spider,
+                "{}: Flash probes {flash} not below Spider {spider}",
+                fig.id
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared driver for the testbed experiments (Figures 12 and 13).
+
+use crate::harness::Effort;
+use crate::report::{FigureResult, Series};
+use flash_core::classify::threshold_for_mice_fraction;
+use pcn_proto::{Cluster, SchemeKind, TestbedRunner};
+use pcn_types::Amount;
+use pcn_workload::testbed_topology;
+use pcn_workload::trace::{generate_trace, TraceConfig};
+
+/// The three capacity intervals of §5.2, USD.
+pub const CAPACITY_INTERVALS: [(u64, u64); 3] = [(1000, 1500), (1500, 2000), (2000, 2500)];
+
+/// The schemes the testbed compares.
+pub const SCHEMES: [SchemeKind; 3] = [SchemeKind::Flash, SchemeKind::Spider, SchemeKind::ShortestPath];
+
+/// Runs the full §5 testbed experiment for a node count, producing the
+/// four panels (success volume, success ratio, normalized overall
+/// delay, normalized mice delay).
+pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<FigureResult> {
+    let txns = match effort {
+        Effort::Quick => 60,
+        // The paper uses 10,000; 1,000 keeps the full sweep (3 intervals
+        // × 3 schemes × real TCP) tractable while preserving shape.
+        Effort::Paper => 1000,
+    };
+    let mut fig_vol = FigureResult::new(
+        format!("{fig_prefix}a"),
+        format!("Testbed success volume, {nodes} nodes"),
+        "capacity interval index",
+        "success volume (USD)",
+    );
+    let mut fig_ratio = FigureResult::new(
+        format!("{fig_prefix}b"),
+        format!("Testbed success ratio, {nodes} nodes"),
+        "capacity interval index",
+        "success ratio (%)",
+    );
+    let mut fig_delay = FigureResult::new(
+        format!("{fig_prefix}c"),
+        format!("Testbed overall processing delay, {nodes} nodes"),
+        "capacity interval index",
+        "delay normalized to SP",
+    );
+    let mut fig_mice_delay = FigureResult::new(
+        format!("{fig_prefix}d"),
+        format!("Testbed mice processing delay, {nodes} nodes"),
+        "capacity interval index",
+        "mice delay normalized to SP",
+    );
+    for scheme in SCHEMES {
+        fig_vol.series.push(Series::new(scheme.name()));
+        fig_ratio.series.push(Series::new(scheme.name()));
+        fig_delay.series.push(Series::new(scheme.name()));
+        fig_mice_delay.series.push(Series::new(scheme.name()));
+    }
+
+    for (i, &(lo, hi)) in CAPACITY_INTERVALS.iter().enumerate() {
+        let x = i as f64;
+        // One trace shared by all schemes on identical clusters.
+        let seed = 42 + i as u64;
+        let reference = testbed_topology(nodes, lo, hi, seed);
+        let trace = generate_trace(reference.graph(), &TraceConfig::ripple(txns, seed + 7));
+        let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+        let threshold = threshold_for_mice_fraction(&amounts, 0.9);
+
+        let mut sp_delay = 1.0f64;
+        let mut sp_mice_delay = 1.0f64;
+        // SP runs last in SCHEMES? No — run SP first to normalize.
+        let mut order: Vec<SchemeKind> = SCHEMES.to_vec();
+        order.rotate_left(2); // [SP, Flash, Spider]
+        for scheme in order {
+            let topo = testbed_topology(nodes, lo, hi, seed);
+            let graph = topo.graph().clone();
+            let balances: Vec<Amount> =
+                graph.edges().map(|(e, _, _)| topo.balance(e)).collect();
+            let cluster = Cluster::launch(graph, &balances).expect("cluster launches");
+            let mut runner = TestbedRunner::new(cluster, scheme, threshold, seed + 13);
+            let report = runner.run_trace(&trace);
+            let delay_us = report.avg_delay().as_secs_f64() * 1e6;
+            let mice_delay_us = report.avg_mice_delay().as_secs_f64() * 1e6;
+            if scheme == SchemeKind::ShortestPath {
+                sp_delay = delay_us.max(1e-9);
+                sp_mice_delay = mice_delay_us.max(1e-9);
+            }
+            let label = scheme.name();
+            fig_vol
+                .series
+                .iter_mut()
+                .find(|s| s.label == label)
+                .unwrap()
+                .push(x, report.success_volume.as_units_f64());
+            fig_ratio
+                .series
+                .iter_mut()
+                .find(|s| s.label == label)
+                .unwrap()
+                .push(x, report.success_ratio() * 100.0);
+            fig_delay
+                .series
+                .iter_mut()
+                .find(|s| s.label == label)
+                .unwrap()
+                .push(x, delay_us / sp_delay);
+            fig_mice_delay
+                .series
+                .iter_mut()
+                .find(|s| s.label == label)
+                .unwrap()
+                .push(x, mice_delay_us / sp_mice_delay);
+        }
+    }
+    vec![fig_vol, fig_ratio, fig_delay, fig_mice_delay]
+}

@@ -1,0 +1,37 @@
+//! # pcn-experiments
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§2.2 measurement study, §4 simulation, §5 testbed), each
+//! regenerating the corresponding series. The `flash-repro` binary runs
+//! them and writes markdown/CSV artifacts; EXPERIMENTS.md records
+//! paper-vs-measured for every figure.
+//!
+//! Every experiment takes an [`Effort`] knob: [`Effort::Quick`] runs a
+//! scaled-down configuration (small topology, short trace, one seed) for
+//! CI and tests; [`Effort::Paper`] runs the paper-scale configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use harness::{Effort, SimScheme, Topo};
+pub use report::{FigureResult, Series};
+
+/// Runs every figure at the given effort, returning all results.
+pub fn run_all(effort: Effort) -> Vec<FigureResult> {
+    let mut out = Vec::new();
+    out.extend(figures::fig3::run(effort));
+    out.extend(figures::fig4::run(effort));
+    out.extend(figures::fig6::run(effort));
+    out.extend(figures::fig7::run(effort));
+    out.extend(figures::fig8::run(effort));
+    out.extend(figures::fig9::run(effort));
+    out.extend(figures::fig10::run(effort));
+    out.extend(figures::fig11::run(effort));
+    out.extend(figures::fig12::run(effort));
+    out.extend(figures::fig13::run(effort));
+    out
+}

@@ -1,0 +1,181 @@
+//! Result containers and rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One plotted line: a label and `(x, y)` points.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label ("Flash", "Spider", ...).
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+}
+
+/// One regenerated sub-figure (e.g. "fig6a").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier matching the paper ("fig6a", "fig12c", ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plotted series.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureResult {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders a markdown table: first column = x, one column per series.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push_str(&"|---".repeat(self.series.len() + 1));
+        out.push_str("|\n");
+        let xs = self.all_x();
+        for x in xs {
+            out.push_str(&format!("| {} |", trim_float(x)));
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => out.push_str(&format!(" {} |", trim_float(y))),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("\n(y-axis: {})\n", self.y_label));
+        out
+    }
+
+    /// Renders CSV with an `x` column and one column per series.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label.replace(',', ";"));
+        }
+        out.push('\n');
+        for x in self.all_x() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(y) = s.y_at(x) {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn all_x(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        let mut f = FigureResult::new("figX", "Test", "scale", "ratio");
+        let mut a = Series::new("Flash");
+        a.push(1.0, 0.5);
+        a.push(2.0, 0.75);
+        let mut b = Series::new("Spider");
+        b.push(1.0, 0.4);
+        f.series.push(a);
+        f.series.push(b);
+        f
+    }
+
+    #[test]
+    fn markdown_has_all_columns() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| scale | Flash | Spider |"));
+        assert!(md.contains("| 1 | 0.5000 | 0.4000 |"));
+        assert!(md.contains("| 2 | 0.7500 | — |"));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("x,Flash,Spider\n"));
+        assert!(csv.contains("1,0.5,0.4\n"));
+        assert!(csv.contains("2,0.75,\n"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert!(f.series("Flash").is_some());
+        assert!(f.series("Nope").is_none());
+        assert_eq!(f.series("Flash").unwrap().y_at(2.0), Some(0.75));
+    }
+}

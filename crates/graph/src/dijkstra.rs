@@ -1,0 +1,154 @@
+//! Dijkstra shortest paths with arbitrary non-negative edge weights.
+//!
+//! Yen's algorithm (mice routing tables) and the fee-aware ablations use
+//! weighted shortest paths; hop counts are the `weight = 1` special case.
+
+use crate::{path::Path, DiGraph, EdgeId};
+use pcn_types::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-pair Dijkstra run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedPath {
+    /// The path found.
+    pub path: Path,
+    /// Total weight along the path.
+    pub weight: u64,
+}
+
+/// Finds a minimum-weight path `s → t`.
+///
+/// `weight` maps each edge to a non-negative cost; returning `None`
+/// excludes the edge entirely (used by Yen's spur computation to ban
+/// edges/nodes). Ties are broken deterministically by node id.
+pub fn shortest_path_weighted(
+    g: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    mut weight: impl FnMut(EdgeId) -> Option<u64>,
+) -> Option<WeightedPath> {
+    if s == t || s.index() >= g.node_count() || t.index() >= g.node_count() {
+        return None;
+    }
+    let n = g.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[s.index()] = 0;
+    heap.push(Reverse((0, s.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == t {
+            break;
+        }
+        for &(v, e) in g.out_neighbors(u) {
+            let Some(w) = weight(e) else { continue };
+            let nd = d.saturating_add(w);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some(u);
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    if dist[t.index()] == u64::MAX {
+        return None;
+    }
+    let mut nodes = vec![t];
+    let mut cur = t;
+    while cur != s {
+        cur = parent[cur.index()].expect("parent chain broken");
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Some(WeightedPath {
+        path: Path::from_vec_unchecked(nodes),
+        weight: dist[t.index()],
+    })
+}
+
+/// Unit-weight convenience wrapper: minimum-hop path via Dijkstra.
+pub fn shortest_path_hops(g: &DiGraph, s: NodeId, t: NodeId) -> Option<WeightedPath> {
+    shortest_path_weighted(g, s, t, |_| Some(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Diamond with a cheap long route and an expensive short route.
+    fn diamond() -> (DiGraph, Vec<u64>) {
+        let mut g = DiGraph::new(4);
+        let mut w = Vec::new();
+        for (u, v, c) in [(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)] {
+            g.add_edge(n(u), n(v)).unwrap();
+            w.push(c);
+        }
+        (g, w)
+    }
+
+    #[test]
+    fn picks_cheaper_longer_route() {
+        let (g, w) = diamond();
+        let r = shortest_path_weighted(&g, n(0), n(3), |e| Some(w[e.index()])).unwrap();
+        assert_eq!(r.weight, 3);
+        assert_eq!(r.path.nodes(), &[n(0), n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn unit_weights_pick_direct_route() {
+        let (g, _) = diamond();
+        let r = shortest_path_hops(&g, n(0), n(3)).unwrap();
+        assert_eq!(r.weight, 1);
+        assert_eq!(r.path.hops(), 1);
+    }
+
+    #[test]
+    fn none_weight_excludes_edge() {
+        let (g, w) = diamond();
+        let direct = g.edge(n(0), n(3)).unwrap();
+        let r = shortest_path_weighted(&g, n(0), n(3), |e| {
+            (e != direct).then(|| w[e.index()])
+        })
+        .unwrap();
+        assert_eq!(r.path.hops(), 3);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let (g, w) = diamond();
+        assert!(shortest_path_weighted(&g, n(3), n(0), |e| Some(w[e.index()])).is_none());
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_unit_weights() {
+        // Random-ish fixed graph; Dijkstra with unit weights must match
+        // BFS hop counts.
+        let mut g = DiGraph::new(8);
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 7),
+            (0, 3),
+            (3, 4),
+            (4, 5),
+            (5, 7),
+            (1, 6),
+            (6, 7),
+        ];
+        for (u, v) in edges {
+            g.add_edge(n(u), n(v)).unwrap();
+        }
+        let bfs = crate::bfs::shortest_path(&g, n(0), n(7)).unwrap();
+        let dij = shortest_path_hops(&g, n(0), n(7)).unwrap();
+        assert_eq!(bfs.hops() as u64, dij.weight);
+    }
+}

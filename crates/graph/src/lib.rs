@@ -1,0 +1,40 @@
+//! # pcn-graph
+//!
+//! Directed-graph substrate for the Flash reproduction. The paper's Python
+//! simulation leans on NetworkX; this crate provides the equivalent
+//! machinery natively:
+//!
+//! * [`DiGraph`] — compact adjacency-list directed graph with dense
+//!   [`EdgeId`]s so per-edge attributes (balances, fees) can live in flat
+//!   vectors owned by the simulator.
+//! * [`Path`] — a validated simple path with hop/edge iteration.
+//! * [`bfs`] — breadth-first shortest paths with edge filters (the
+//!   `Breadth-First-Search(G, C', s, t)` primitive of Algorithm 1).
+//! * [`dijkstra`] — weighted shortest paths.
+//! * [`yen`] — Yen's k-shortest loopless paths (§3.3 mice routing tables).
+//! * [`maxflow`] — classic Edmonds–Karp, used as the ground-truth oracle
+//!   that Flash's k-bounded variant is tested against.
+//! * [`disjoint`] — k edge-disjoint shortest paths (Spider's path set).
+//! * [`generators`] — Watts–Strogatz (§5.2 testbed topologies),
+//!   Barabási–Albert scale-free (Ripple/Lightning-like topologies), and
+//!   Erdős–Rényi graphs.
+//! * [`io`] — edge-list text and serde-based topology (de)serialization.
+//! * [`stats`] — degree/path-length/clustering statistics used to
+//!   validate that synthesized topologies match real PCN structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod digraph;
+pub mod dijkstra;
+pub mod disjoint;
+pub mod generators;
+pub mod io;
+pub mod maxflow;
+pub mod path;
+pub mod stats;
+pub mod yen;
+
+pub use digraph::{DiGraph, EdgeId};
+pub use path::Path;

@@ -1,0 +1,384 @@
+//! Classic Edmonds–Karp maximum flow.
+//!
+//! This is the textbook algorithm (BFS augmenting paths on the residual
+//! graph) with *full* capacity knowledge. Flash cannot use it directly —
+//! "probing each channel of each path whenever an elephant payment arrives
+//! does not scale" (§3.2) — but the reproduction needs it as:
+//!
+//! * the ground-truth oracle the k-bounded Flash variant is validated
+//!   against (Flash's flow ≤ true max-flow; equal when k is large),
+//! * the `m = 0` upper bound of Figure 11 analysis, and
+//! * the subject of max-flow/min-cut property tests.
+
+use crate::{path::Path, DiGraph, EdgeId};
+use pcn_types::NodeId;
+use std::collections::VecDeque;
+
+/// Outcome of a max-flow computation.
+#[derive(Clone, Debug)]
+pub struct MaxFlow {
+    /// Total flow value from source to sink.
+    pub value: u64,
+    /// Net flow assigned to each directed edge (indexed by [`EdgeId`]).
+    pub edge_flow: Vec<u64>,
+}
+
+/// Computes the maximum `s → t` flow given per-edge capacities
+/// (`capacity[e.index()]`).
+///
+/// Residual capacity of a directed edge is its remaining capacity plus
+/// any flow already pushed on the opposite directed edge (flows in the
+/// two directions of a channel cancel, exactly as partial payments on
+/// different directions of the same channel offset each other).
+pub fn edmonds_karp(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64]) -> MaxFlow {
+    assert_eq!(capacity.len(), g.edge_count(), "capacity table size mismatch");
+    let mut flow = vec![0u64; g.edge_count()];
+    let mut value = 0u64;
+    if s == t || s.index() >= g.node_count() || t.index() >= g.node_count() {
+        return MaxFlow {
+            value: 0,
+            edge_flow: flow,
+        };
+    }
+
+    // Residual capacity of edge e given current flows.
+    let residual = |e: EdgeId, flow: &[u64]| -> u64 {
+        let fwd = capacity[e.index()] - flow[e.index()];
+        // Flow pushed on the reverse directed edge can be "returned".
+        // (Only physical edges carry flow; the pure-residual arcs of the
+        // textbook formulation correspond to reverse physical edges here
+        // when the channel is bidirectional, otherwise to undoing flow.)
+        fwd
+    };
+
+    loop {
+        // BFS on the residual graph. Arcs: forward physical edges with
+        // remaining capacity, plus "undo" arcs v→u for each physical edge
+        // u→v carrying flow.
+        let n = g.node_count();
+        // pred[v] = (u, Some(edge)) for forward, (u, None-with-edge) — we
+        // encode each arc as (node, edge, is_forward).
+        let mut pred: Vec<Option<(NodeId, EdgeId, bool)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[s.index()] = true;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &(v, e) in g.out_neighbors(u) {
+                if !visited[v.index()] && residual(e, &flow) > 0 {
+                    visited[v.index()] = true;
+                    pred[v.index()] = Some((u, e, true));
+                    if v == t {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+            // Undo arcs: for each edge w→u carrying flow, we may push
+            // back u→w.
+            for &(w, e) in g.in_neighbors(u) {
+                if !visited[w.index()] && flow[e.index()] > 0 {
+                    visited[w.index()] = true;
+                    pred[w.index()] = Some((u, e, false));
+                    if w == t {
+                        break 'bfs;
+                    }
+                    q.push_back(w);
+                }
+            }
+        }
+        if !visited[t.index()] {
+            break;
+        }
+        // Bottleneck along the augmenting path.
+        let mut bottleneck = u64::MAX;
+        let mut cur = t;
+        while cur != s {
+            let (pu, e, forward) = pred[cur.index()].unwrap();
+            let avail = if forward {
+                residual(e, &flow)
+            } else {
+                flow[e.index()]
+            };
+            bottleneck = bottleneck.min(avail);
+            cur = pu;
+        }
+        debug_assert!(bottleneck > 0);
+        // Apply.
+        let mut cur = t;
+        while cur != s {
+            let (pu, e, forward) = pred[cur.index()].unwrap();
+            if forward {
+                flow[e.index()] += bottleneck;
+            } else {
+                flow[e.index()] -= bottleneck;
+            }
+            cur = pu;
+        }
+        value += bottleneck;
+    }
+
+    // Cancel opposing flows on bidirectional channels so the reported
+    // per-edge flows are net (matches how balances actually move).
+    for (e, _, _) in g.edges() {
+        if let Some(r) = g.reverse_edge(e) {
+            if e.index() < r.index() {
+                let cancel = flow[e.index()].min(flow[r.index()]);
+                flow[e.index()] -= cancel;
+                flow[r.index()] -= cancel;
+            }
+        }
+    }
+
+    MaxFlow {
+        value,
+        edge_flow: flow,
+    }
+}
+
+/// The capacity of the minimum s–t cut implied by a finished max-flow
+/// run: edges from the residual-reachable set to its complement.
+///
+/// By max-flow/min-cut these must be equal; the property tests assert it.
+pub fn min_cut_capacity(g: &DiGraph, s: NodeId, flowres: &MaxFlow, capacity: &[u64]) -> u64 {
+    // Recompute residual reachability from s.
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    visited[s.index()] = true;
+    let mut q = VecDeque::new();
+    q.push_back(s);
+    while let Some(u) = q.pop_front() {
+        for &(v, e) in g.out_neighbors(u) {
+            if !visited[v.index()] && capacity[e.index()] > flowres.edge_flow[e.index()] {
+                visited[v.index()] = true;
+                q.push_back(v);
+            }
+        }
+        for &(w, e) in g.in_neighbors(u) {
+            if !visited[w.index()] && flowres.edge_flow[e.index()] > 0 {
+                visited[w.index()] = true;
+                q.push_back(w);
+            }
+        }
+    }
+    let mut cut = 0u64;
+    for (e, u, v) in g.edges() {
+        if visited[u.index()] && !visited[v.index()] {
+            cut += capacity[e.index()];
+        }
+    }
+    cut
+}
+
+/// Decomposes an edge flow into at most `E` weighted paths via repeated
+/// s→t walks along positive-flow edges. Used to turn an oracle max-flow
+/// into an executable multi-path payment in tests.
+pub fn decompose_into_paths(
+    g: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    flowres: &MaxFlow,
+) -> Vec<(Path, u64)> {
+    let mut flow = flowres.edge_flow.clone();
+    let mut out = Vec::new();
+    loop {
+        // Walk from s following positive flow; cycles cannot occur in a
+        // net flow after cancellation... but guard with visited anyway.
+        let mut nodes = vec![s];
+        let mut cur = s;
+        let mut bottleneck = u64::MAX;
+        let mut edges_on_path = Vec::new();
+        let mut ok = false;
+        let mut visited = vec![false; g.node_count()];
+        visited[s.index()] = true;
+        while let Some(&(v, e)) = g
+            .out_neighbors(cur)
+            .iter()
+            .find(|&&(v, e)| flow[e.index()] > 0 && !visited[v.index()])
+        {
+            nodes.push(v);
+            visited[v.index()] = true;
+            bottleneck = bottleneck.min(flow[e.index()]);
+            edges_on_path.push(e);
+            cur = v;
+            if v == t {
+                ok = true;
+                break;
+            }
+        }
+        if !ok {
+            break;
+        }
+        for e in &edges_on_path {
+            flow[e.index()] -= bottleneck;
+        }
+        out.push((Path::from_vec_unchecked(nodes), bottleneck));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// CLRS figure 26.1-style network with known max flow 23.
+    fn clrs() -> (DiGraph, Vec<u64>) {
+        let mut g = DiGraph::new(6);
+        let mut cap = Vec::new();
+        for (u, v, c) in [
+            (0, 1, 16),
+            (0, 2, 13),
+            (1, 3, 12),
+            (2, 1, 4),
+            (2, 4, 14),
+            (3, 2, 9),
+            (3, 5, 20),
+            (4, 3, 7),
+            (4, 5, 4),
+        ] {
+            g.add_edge(n(u), n(v)).unwrap();
+            cap.push(c);
+        }
+        (g, cap)
+    }
+
+    #[test]
+    fn clrs_max_flow_is_23() {
+        let (g, cap) = clrs();
+        let mf = edmonds_karp(&g, n(0), n(5), &cap);
+        assert_eq!(mf.value, 23);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let (g, cap) = clrs();
+        let mf = edmonds_karp(&g, n(0), n(5), &cap);
+        for node in g.nodes() {
+            if node == n(0) || node == n(5) {
+                continue;
+            }
+            let inflow: u64 = g
+                .in_neighbors(node)
+                .iter()
+                .map(|&(_, e)| mf.edge_flow[e.index()])
+                .sum();
+            let outflow: u64 = g
+                .out_neighbors(node)
+                .iter()
+                .map(|&(_, e)| mf.edge_flow[e.index()])
+                .sum();
+            assert_eq!(inflow, outflow, "conservation at {node}");
+        }
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let (g, cap) = clrs();
+        let mf = edmonds_karp(&g, n(0), n(5), &cap);
+        for (e, _, _) in g.edges() {
+            assert!(mf.edge_flow[e.index()] <= cap[e.index()]);
+        }
+    }
+
+    #[test]
+    fn fig5a_max_flow() {
+        // Figure 5(a) of the Flash paper: capacities 1→2: 30, 1→5: 30,
+        // 2→3: 20, 2→4: 20, 3→6: 30, 4→6: 30, 5→4: 30.
+        // Max flow = 30 (via node 2, split 20+... ) — compute: cut at
+        // {1}: 60. Path 1-2-3-6 ≤ 20, 1-2-4-6 ≤ 20 but 1→2 caps at 30;
+        // 1-5-4-6 ≤ 30 but 4→6 shared cap 30. Total: 1→2 contributes
+        // min(30, 20+20)=30, of which up to 20 via 3; 4→6 carries
+        // min(30, rest). Max flow = 30 (1→2) bottlenecked... let's trust
+        // the oracle and assert the value computed by hand: flows:
+        // 1-2-3-6: 20, 1-2-4-6: 10, 1-5-4-6: 20 → 4→6 carries 30. Total 50.
+        let mut g = DiGraph::new(6);
+        let mut cap = Vec::new();
+        for (u, v, c) in [
+            (1, 2, 30),
+            (1, 5, 30),
+            (2, 3, 20),
+            (2, 4, 20),
+            (3, 6, 30),
+            (4, 6, 30),
+            (5, 4, 30),
+        ] {
+            g.add_edge(n(u - 1), n(v - 1)).unwrap();
+            cap.push(c);
+        }
+        let mf = edmonds_karp(&g, n(0), n(5), &cap);
+        assert_eq!(mf.value, 50);
+    }
+
+    #[test]
+    fn decomposition_sums_to_value() {
+        let (g, cap) = clrs();
+        let mf = edmonds_karp(&g, n(0), n(5), &cap);
+        let paths = decompose_into_paths(&g, n(0), n(5), &mf);
+        let total: u64 = paths.iter().map(|(_, f)| f).sum();
+        assert_eq!(total, mf.value);
+        for (p, f) in &paths {
+            assert!(*f > 0);
+            assert_eq!(p.source(), n(0));
+            assert_eq!(p.target(), n(5));
+        }
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        let mf = edmonds_karp(&g, n(0), n(2), &[5]);
+        assert_eq!(mf.value, 0);
+    }
+
+    /// Random small digraphs for the max-flow = min-cut property.
+    fn arb_graph() -> impl Strategy<Value = (DiGraph, Vec<u64>)> {
+        (2usize..8, proptest::collection::vec((0u32..8, 0u32..8, 1u64..50), 1..30))
+            .prop_map(|(nn, edges)| {
+                let nn = nn.max(2);
+                let mut g = DiGraph::new(nn);
+                let mut cap = Vec::new();
+                for (u, v, c) in edges {
+                    let u = NodeId(u % nn as u32);
+                    let v = NodeId(v % nn as u32);
+                    if u != v && g.edge(u, v).is_none() {
+                        g.add_edge(u, v).unwrap();
+                        cap.push(c);
+                    }
+                }
+                (g, cap)
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn max_flow_equals_min_cut((g, cap) in arb_graph()) {
+            let s = NodeId(0);
+            let t = NodeId(1);
+            let mf = edmonds_karp(&g, s, t, &cap);
+            let cut = min_cut_capacity(&g, s, &mf, &cap);
+            prop_assert_eq!(mf.value, cut);
+        }
+
+        #[test]
+        fn flow_is_feasible((g, cap) in arb_graph()) {
+            let mf = edmonds_karp(&g, NodeId(0), NodeId(1), &cap);
+            for (e, _, _) in g.edges() {
+                prop_assert!(mf.edge_flow[e.index()] <= cap[e.index()]);
+            }
+            for node in g.nodes() {
+                if node == NodeId(0) || node == NodeId(1) { continue; }
+                let inflow: u64 = g.in_neighbors(node).iter()
+                    .map(|&(_, e)| mf.edge_flow[e.index()]).sum();
+                let outflow: u64 = g.out_neighbors(node).iter()
+                    .map(|&(_, e)| mf.edge_flow[e.index()]).sum();
+                prop_assert_eq!(inflow, outflow);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Topology statistics.
+//!
+//! The paper motivates its design with structural properties of real
+//! PCN topologies ("an offchain network topology is highly irregular
+//! while a DCN topology is usually a Clos", §6). These helpers let the
+//! workload tests assert that the synthesized topologies actually
+//! exhibit the properties the substitution argument relies on: skewed
+//! degrees, short paths, small-world clustering.
+
+use crate::{bfs, DiGraph};
+use pcn_types::NodeId;
+
+/// Summary of a degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Median out-degree.
+    pub median: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Fraction of total degree held by the top 1% of nodes (hubs).
+    pub top1pct_share: f64,
+}
+
+/// Computes out-degree statistics.
+pub fn degree_stats(g: &DiGraph) -> DegreeStats {
+    let mut degs: Vec<usize> = g.nodes().map(|u| g.out_degree(u)).collect();
+    assert!(!degs.is_empty(), "degree_stats of empty graph");
+    degs.sort_unstable();
+    let total: usize = degs.iter().sum();
+    let top = degs.len().div_ceil(100);
+    let top_sum: usize = degs[degs.len() - top..].iter().sum();
+    DegreeStats {
+        min: degs[0],
+        median: degs[degs.len() / 2],
+        mean: total as f64 / degs.len() as f64,
+        max: *degs.last().unwrap(),
+        top1pct_share: if total == 0 {
+            0.0
+        } else {
+            top_sum as f64 / total as f64
+        },
+    }
+}
+
+/// Mean shortest-path length (hops) over `samples` random source nodes,
+/// ignoring unreachable pairs. Deterministic for a given `seed`.
+pub fn mean_path_length(g: &DiGraph, samples: usize, seed: u64) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut count = 0usize;
+    // Simple LCG so this stays dependency-free and deterministic.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for _ in 0..samples.max(1) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let s = NodeId::from_index((state >> 33) as usize % n);
+        let dist = bfs::distances_from(g, s);
+        for (i, d) in dist.iter().enumerate() {
+            if i != s.index() && *d != usize::MAX {
+                total += d;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Approximate diameter: the largest BFS eccentricity over `samples`
+/// random sources (a lower bound on the true diameter).
+pub fn diameter_lower_bound(g: &DiGraph, samples: usize, seed: u64) -> usize {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    let mut best = 0usize;
+    let mut state = seed | 1;
+    for _ in 0..samples.max(1) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let s = NodeId::from_index((state >> 33) as usize % n);
+        let ecc = bfs::distances_from(g, s)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0);
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Global clustering coefficient (transitivity) over the *undirected*
+/// channel structure: `3 × triangles / connected triples`.
+pub fn clustering_coefficient(g: &DiGraph) -> f64 {
+    let n = g.node_count();
+    // Undirected neighbor sets.
+    let mut nbrs: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n];
+    for (_, u, v) in g.edges() {
+        nbrs[u.index()].insert(v.0);
+        nbrs[v.index()].insert(u.0);
+    }
+    let mut triangles = 0u64;
+    let mut triples = 0u64;
+    for u in 0..n {
+        let d = nbrs[u].len() as u64;
+        if d < 2 {
+            continue;
+        }
+        triples += d * (d - 1) / 2;
+        let local: Vec<u32> = nbrs[u].iter().copied().collect();
+        for i in 0..local.len() {
+            for j in (i + 1)..local.len() {
+                if nbrs[local[i] as usize].contains(&local[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner (3 times total).
+        triangles as f64 / triples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_of_a_star() {
+        let mut g = DiGraph::new(5);
+        for i in 1..5 {
+            g.add_channel(NodeId(0), NodeId(i)).unwrap();
+        }
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_free_is_more_skewed_than_small_world() {
+        let sf = generators::scale_free_with_channels(300, 900, 3);
+        let ws = generators::watts_strogatz(300, 6, 0.1, 3);
+        let sf_stats = degree_stats(&sf);
+        let ws_stats = degree_stats(&ws);
+        assert!(
+            sf_stats.top1pct_share > ws_stats.top1pct_share,
+            "scale-free hubs {:.3} should dominate WS {:.3}",
+            sf_stats.top1pct_share,
+            ws_stats.top1pct_share
+        );
+        assert!(sf_stats.max > 3 * sf_stats.median);
+    }
+
+    #[test]
+    fn path_length_of_a_line() {
+        let mut g = DiGraph::new(4);
+        for i in 0..3 {
+            g.add_channel(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        // Mean over all ordered reachable pairs of the 4-line:
+        // distances 1,2,3 + 1,2 + 1 (and symmetric) → mean = 5/3.
+        let mpl = mean_path_length(&g, 50, 1);
+        assert!((mpl - 5.0 / 3.0).abs() < 0.2, "got {mpl}");
+        assert_eq!(diameter_lower_bound(&g, 50, 1), 3);
+    }
+
+    #[test]
+    fn small_world_has_short_paths_and_clustering() {
+        let g = generators::watts_strogatz(200, 6, 0.1, 5);
+        let mpl = mean_path_length(&g, 20, 7);
+        assert!(mpl < 10.0, "small world should have short paths, got {mpl}");
+        let cc = clustering_coefficient(&g);
+        // The β=0.1 ring lattice keeps strong local clustering.
+        assert!(cc > 0.2, "expected clustering, got {cc}");
+        // A random graph with the same density clusters far less.
+        let er = generators::erdos_renyi(200, 6.0 / 199.0, 5);
+        let cc_er = clustering_coefficient(&er);
+        assert!(cc > 2.0 * cc_er, "WS {cc} should cluster ≫ ER {cc_er}");
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let mut g = DiGraph::new(3);
+        g.add_channel(NodeId(0), NodeId(1)).unwrap();
+        g.add_channel(NodeId(1), NodeId(2)).unwrap();
+        g.add_channel(NodeId(0), NodeId(2)).unwrap();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = DiGraph::new(1);
+        assert_eq!(mean_path_length(&g, 5, 1), 0.0);
+        assert_eq!(diameter_lower_bound(&g, 5, 1), 0);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pcn-lp
+//!
+//! A small, dependency-free linear-programming substrate. The Flash paper
+//! solves its fee-minimizing path-split program (program (1) in §3.2)
+//! with "standard solvers"; since the practical instance is tiny (one
+//! variable per path, `k ≤ 20–30`), a dense two-phase primal simplex
+//! solves it exactly and instantly.
+//!
+//! * [`LinearProgram`] — builder for `min cᵀx  s.t.  Ax {≤,=,≥} b, x ≥ 0`.
+//! * [`simplex::solve`] — two-phase simplex with Bland's anti-cycling rule.
+//! * [`Solution`] / [`LpError`] — results.
+//!
+//! ```
+//! use pcn_lp::{LinearProgram, Cmp};
+//! // min x + 2y  s.t.  x + y ≥ 3,  y ≤ 2,  x, y ≥ 0.  Optimum: x = 3.
+//! let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+//! lp.constrain(vec![1.0, 1.0], Cmp::Ge, 3.0);
+//! lp.constrain(vec![0.0, 1.0], Cmp::Le, 2.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 3.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simplex;
+
+pub use simplex::{solve, Cmp, LinearProgram, LpError, Solution};

@@ -1,0 +1,676 @@
+//! Cluster orchestration and sender-side routing schemes.
+//!
+//! [`Cluster::launch`] spins up one TCP-backed [`Node`](crate::node::Node)
+//! per participant; [`TestbedRunner`] then drives a transaction trace
+//! through one of the three schemes the testbed evaluates (§5.2): Flash,
+//! Spider, and Shortest Path, measuring per-transaction processing delay
+//! (Figures 12c/d and 13c/d), success volume and ratio (a/b panels).
+
+use crate::fault::FaultPlan;
+use crate::node::Node;
+use crate::transport::ConnPool;
+use crate::wire::{Message, MsgType};
+use flash_core::flash::elephant::{self, PathProber, ProbedChannel};
+use flash_core::flash::fees;
+use flash_core::flash::mice::RoutingTable;
+use flash_core::spider::waterfill;
+use pcn_graph::{bfs, disjoint, DiGraph, Path};
+use pcn_types::{Amount, FeePolicy, NodeId, Payment, PaymentClass, PcnError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which routing scheme the testbed runner drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Flash (elephant/mice differentiation; k = 20, m = 4 defaults).
+    Flash,
+    /// Spider (waterfilling over 4 edge-disjoint shortest paths).
+    Spider,
+    /// Single fewest-hops path.
+    ShortestPath,
+}
+
+impl SchemeKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Flash => "Flash",
+            SchemeKind::Spider => "Spider",
+            SchemeKind::ShortestPath => "SP",
+        }
+    }
+}
+
+/// A running cluster of TCP nodes.
+pub struct Cluster {
+    graph: DiGraph,
+    nodes: Vec<Arc<Node>>,
+    timeout: Duration,
+}
+
+impl Cluster {
+    /// Launches one node per graph vertex on ephemeral localhost ports.
+    /// `balances[e]` (indexed by edge id) seeds each node's outgoing
+    /// balances.
+    pub fn launch(graph: DiGraph, balances: &[Amount]) -> Result<Cluster> {
+        Self::launch_with_faults(graph, balances, FaultPlan::none())
+    }
+
+    /// Launches a cluster whose outbound messages pass through `faults`
+    /// (dropped messages surface as sender-side timeouts).
+    pub fn launch_with_faults(
+        graph: DiGraph,
+        balances: &[Amount],
+        faults: FaultPlan,
+    ) -> Result<Cluster> {
+        if balances.len() != graph.edge_count() {
+            return Err(PcnError::InvalidConfig(format!(
+                "balance table has {} entries for {} edges",
+                balances.len(),
+                graph.edge_count()
+            )));
+        }
+        let n = graph.node_count();
+        // Bind all listeners first so the address book is complete
+        // before any node starts serving.
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs: HashMap<u32, SocketAddr> = HashMap::new();
+        for id in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.insert(id as u32, listener.local_addr()?);
+            listeners.push(listener);
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for (id, listener) in listeners.into_iter().enumerate() {
+            let mut node_balances: HashMap<u32, u64> = HashMap::new();
+            for &(neigh, e) in graph.out_neighbors(NodeId::from_index(id)) {
+                node_balances.insert(neigh.0, balances[e.index()].micros());
+            }
+            let pool = ConnPool::with_faults(addrs.clone(), faults.clone());
+            let addr = addrs[&(id as u32)];
+            let (node, _handle) = Node::serve(id as u32, listener, addr, pool, node_balances);
+            nodes.push(node);
+        }
+        Ok(Cluster {
+            graph,
+            nodes,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Overrides the client-side reply timeout (default 10 s). Fault
+    /// tests lower this so dropped messages fail fast.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The shared topology (the file every prototype node "reads ... at
+    /// launch time").
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Total funds across all nodes (conservation checks).
+    pub fn total_funds(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_outgoing()).sum()
+    }
+
+    /// Sum of probe messages processed across all nodes.
+    pub fn probe_messages(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.stats().probe_messages.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of commit messages processed across all nodes.
+    pub fn commit_messages(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.stats().commit_messages.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn sender_node(&self, path: &Path) -> &Arc<Node> {
+        &self.nodes[path.source().index()]
+    }
+
+    fn path_ids(path: &Path) -> Vec<u32> {
+        path.nodes().iter().map(|n| n.0).collect()
+    }
+
+    /// Sends a `PROBE` along `path`; returns per-hop forward balances.
+    pub fn probe(&self, trans_id: u64, path: &Path) -> Option<Vec<u64>> {
+        let node = self.sender_node(path);
+        let msg = Message::new(trans_id, MsgType::Probe, Self::path_ids(path));
+        let rx = node.start_request(msg);
+        let reply = rx.recv_timeout(self.timeout).ok();
+        node.finish_request(trans_id);
+        let reply = reply?;
+        (reply.msg_type == MsgType::ProbeAck && reply.capacities.len() == path.hops())
+            .then_some(reply.capacities)
+    }
+
+    /// Phase-1 commit of a sub-payment. `true` on `COMMIT_ACK`; on
+    /// `COMMIT_NACK` every escrowed hop has already been rolled back.
+    pub fn commit_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
+        let node = self.sender_node(path);
+        let mut msg = Message::new(trans_id, MsgType::Commit, Self::path_ids(path));
+        msg.commit = amount.micros();
+        let rx = node.start_request(msg);
+        let reply = rx.recv_timeout(self.timeout).ok();
+        node.finish_request(trans_id);
+        matches!(
+            reply,
+            Some(Message {
+                msg_type: MsgType::CommitAck,
+                ..
+            })
+        )
+    }
+
+    /// Phase-2 confirmation of a committed sub-payment (credits the
+    /// reverse directions along the path).
+    pub fn confirm_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
+        self.phase2(trans_id, path, amount, MsgType::Confirm, MsgType::ConfirmAck)
+    }
+
+    /// Phase-2 reversal of a committed sub-payment (restores escrow).
+    pub fn reverse_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
+        self.phase2(trans_id, path, amount, MsgType::Reverse, MsgType::ReverseAck)
+    }
+
+    fn phase2(
+        &self,
+        trans_id: u64,
+        path: &Path,
+        amount: Amount,
+        send: MsgType,
+        expect: MsgType,
+    ) -> bool {
+        let node = self.sender_node(path);
+        let mut msg = Message::new(trans_id, send, Self::path_ids(path));
+        msg.commit = amount.micros();
+        let rx = node.start_request(msg);
+        let reply = rx.recv_timeout(self.timeout).ok();
+        node.finish_request(trans_id);
+        reply.is_some_and(|m| m.msg_type == expect)
+    }
+
+    /// Shuts the cluster down (best effort; reader threads exit on EOF).
+    pub fn shutdown(&self) {
+        for node in &self.nodes {
+            node.request_shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Probing adapter: Algorithm 1 in [`flash_core`] works against this via
+/// the [`PathProber`] trait, so the testbed runs the *same* path-finding
+/// code as the simulator.
+struct ClusterProber<'a> {
+    cluster: &'a Cluster,
+    next_id: u64,
+}
+
+impl PathProber for ClusterProber<'_> {
+    fn probe_path_channels(&mut self, path: &Path) -> Option<Vec<ProbedChannel>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let caps = self.cluster.probe(id, path)?;
+        Some(
+            caps.into_iter()
+                .map(|c| ProbedChannel {
+                    capacity: Amount::from_micros(c),
+                    // The testbed measures delay, not fees; probes do not
+                    // carry fee or reverse-direction info on this wire.
+                    fee: FeePolicy::FREE,
+                    reverse_capacity: None,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Per-scheme testbed statistics (one (scheme, capacity-interval) cell
+/// of Figures 12/13).
+#[derive(Clone, Debug, Default)]
+pub struct TestbedReport {
+    /// Payments attempted.
+    pub attempted: u64,
+    /// Payments fully delivered.
+    pub succeeded: u64,
+    /// Volume of fully delivered payments.
+    pub success_volume: Amount,
+    /// Total processing delay across all payments.
+    pub total_delay: Duration,
+    /// Processing delay restricted to mice payments.
+    pub mice_delay: Duration,
+    /// Number of mice payments.
+    pub mice_count: u64,
+    /// Probe messages processed cluster-wide.
+    pub probe_messages: u64,
+}
+
+impl TestbedReport {
+    /// Success ratio in [0, 1].
+    pub fn success_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.succeeded as f64 / self.attempted as f64
+        }
+    }
+
+    /// Mean processing delay per payment.
+    pub fn avg_delay(&self) -> Duration {
+        if self.attempted == 0 {
+            Duration::ZERO
+        } else {
+            self.total_delay / self.attempted as u32
+        }
+    }
+
+    /// Mean processing delay per mice payment.
+    pub fn avg_mice_delay(&self) -> Duration {
+        if self.mice_count == 0 {
+            Duration::ZERO
+        } else {
+            self.mice_delay / self.mice_count as u32
+        }
+    }
+}
+
+/// Drives a trace through one scheme on a [`Cluster`].
+pub struct TestbedRunner {
+    cluster: Cluster,
+    scheme: SchemeKind,
+    /// Elephant/mice threshold (Flash only; others record class for
+    /// reporting).
+    pub elephant_threshold: Amount,
+    /// Flash elephant path budget.
+    pub k: usize,
+    /// Flash mice paths per receiver.
+    pub m: usize,
+    table: RoutingTable,
+    rng: StdRng,
+    next_part_id: u64,
+}
+
+impl TestbedRunner {
+    /// Creates a runner. `elephant_threshold` classifies payments (set
+    /// so 90% are mice, as in §5.2).
+    pub fn new(cluster: Cluster, scheme: SchemeKind, elephant_threshold: Amount, seed: u64) -> Self {
+        TestbedRunner {
+            cluster,
+            scheme,
+            elephant_threshold,
+            k: 20,
+            m: 4,
+            table: RoutingTable::new(4, u64::MAX),
+            rng: StdRng::seed_from_u64(seed),
+            next_part_id: 1,
+        }
+    }
+
+    /// Access to the underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_part_id;
+        self.next_part_id += 1;
+        id
+    }
+
+    /// Routes an entire trace, accumulating the report.
+    pub fn run_trace(&mut self, trace: &[Payment]) -> TestbedReport {
+        let mut report = TestbedReport::default();
+        for p in trace {
+            let class = p.classify(self.elephant_threshold);
+            let start = Instant::now();
+            let ok = self.route_one(p, class);
+            let elapsed = start.elapsed();
+            report.attempted += 1;
+            report.total_delay += elapsed;
+            if class.is_mice() {
+                report.mice_count += 1;
+                report.mice_delay += elapsed;
+            }
+            if ok {
+                report.succeeded += 1;
+                report.success_volume = report.success_volume.saturating_add(p.amount);
+            }
+        }
+        report.probe_messages = self.cluster.probe_messages();
+        report
+    }
+
+    /// Routes one payment; returns success.
+    pub fn route_one(&mut self, payment: &Payment, class: PaymentClass) -> bool {
+        match self.scheme {
+            SchemeKind::ShortestPath => self.route_sp(payment),
+            SchemeKind::Spider => self.route_spider(payment),
+            SchemeKind::Flash => match class {
+                PaymentClass::Elephant => self.route_flash_elephant(payment),
+                PaymentClass::Mice => self.route_flash_mice(payment),
+            },
+        }
+    }
+
+    /// Commits all `parts` **concurrently** (the paper's prototype
+    /// "prepares a COMMIT message for each of the sub-payment and sends
+    /// them out" before waiting); on full success confirms them all,
+    /// otherwise reverses whatever committed. Returns overall success.
+    fn two_phase(&mut self, parts: &[(Path, Amount)]) -> bool {
+        let live: Vec<(u64, &Path, Amount)> = parts
+            .iter()
+            .filter(|(_, a)| !a.is_zero())
+            .map(|(p, a)| (self.fresh_id(), p, *a))
+            .collect();
+        let cluster = &self.cluster;
+        let results: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = live
+                .iter()
+                .map(|(id, path, amount)| {
+                    s.spawn(move || cluster.commit_part(*id, path, *amount))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let all_ok = results.iter().all(|&ok| ok);
+        // Phase 2, also concurrent per sub-payment.
+        std::thread::scope(|s| {
+            for ((id, path, amount), ok) in live.iter().zip(&results) {
+                if *ok {
+                    if all_ok {
+                        s.spawn(move || cluster.confirm_part(*id, path, *amount));
+                    } else {
+                        s.spawn(move || cluster.reverse_part(*id, path, *amount));
+                    }
+                }
+            }
+        });
+        all_ok
+    }
+
+    fn route_sp(&mut self, payment: &Payment) -> bool {
+        let Some(path) = bfs::shortest_path(self.cluster.graph(), payment.sender, payment.receiver)
+        else {
+            return false;
+        };
+        self.two_phase(&[(path, payment.amount)])
+    }
+
+    fn route_spider(&mut self, payment: &Payment) -> bool {
+        let paths = disjoint::edge_disjoint_paths(
+            self.cluster.graph(),
+            payment.sender,
+            payment.receiver,
+            4,
+        );
+        if paths.is_empty() {
+            return false;
+        }
+        // Spider probes all its paths for every payment — concurrently,
+        // as the prototype's sender would.
+        let ids: Vec<u64> = paths.iter().map(|_| self.fresh_id()).collect();
+        let cluster = &self.cluster;
+        let caps: Vec<Amount> = std::thread::scope(|s| {
+            let handles: Vec<_> = paths
+                .iter()
+                .zip(&ids)
+                .map(|(p, id)| {
+                    s.spawn(move || {
+                        cluster
+                            .probe(*id, p)
+                            .and_then(|c| c.into_iter().min())
+                            .unwrap_or(0)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| Amount::from_micros(h.join().unwrap()))
+                .collect()
+        });
+        let Some(alloc) = waterfill(&caps, payment.amount) else {
+            return false;
+        };
+        let parts: Vec<(Path, Amount)> = paths.into_iter().zip(alloc).collect();
+        self.two_phase(&parts)
+    }
+
+    fn route_flash_elephant(&mut self, payment: &Payment) -> bool {
+        let graph = self.cluster.graph().clone();
+        let mut prober = ClusterProber {
+            cluster: &self.cluster,
+            next_id: self.next_part_id,
+        };
+        let plan = elephant::find_paths_with(
+            &graph,
+            &mut prober,
+            payment.sender,
+            payment.receiver,
+            payment.amount,
+            self.k,
+        );
+        self.next_part_id = prober.next_id;
+        if plan.paths.is_empty() || plan.max_flow < payment.amount {
+            return false;
+        }
+        let Some(parts) = fees::split_payment(&graph, &plan, payment.amount, true) else {
+            return false;
+        };
+        self.two_phase(&parts)
+    }
+
+    fn route_flash_mice(&mut self, payment: &Payment) -> bool {
+        let graph = self.cluster.graph().clone();
+        let now = self.next_part_id;
+        let paths = self
+            .table
+            .lookup_or_compute(&graph, payment.sender, payment.receiver, now);
+        if paths.is_empty() {
+            return false;
+        }
+        let mut order: Vec<usize> = (0..paths.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut remaining = payment.amount;
+        let mut committed: Vec<(u64, Path, Amount)> = Vec::new();
+        let mut dead: Vec<usize> = Vec::new();
+        for &idx in &order {
+            if remaining.is_zero() {
+                break;
+            }
+            let path = &paths[idx];
+            // Try the full remaining amount first — no probe on success.
+            let id = self.fresh_id();
+            if self.cluster.commit_part(id, path, remaining) {
+                committed.push((id, path.clone(), remaining));
+                remaining = Amount::ZERO;
+                break;
+            }
+            // Probe, then commit the effective capacity.
+            let pid = self.fresh_id();
+            let Some(caps) = self.cluster.probe(pid, path) else {
+                continue;
+            };
+            let cp = Amount::from_micros(caps.into_iter().min().unwrap_or(0)).min(remaining);
+            if cp.is_zero() {
+                dead.push(idx);
+                continue;
+            }
+            let id = self.fresh_id();
+            if self.cluster.commit_part(id, path, cp) {
+                committed.push((id, path.clone(), cp));
+                remaining = remaining.saturating_sub(cp);
+            }
+        }
+        let ok = remaining.is_zero();
+        if ok {
+            for (id, path, amount) in &committed {
+                self.cluster.confirm_part(*id, path, *amount);
+            }
+        } else {
+            for (id, path, amount) in &committed {
+                self.cluster.reverse_part(*id, path, *amount);
+            }
+        }
+        for idx in dead {
+            self.table
+                .replace_path(&graph, payment.sender, payment.receiver, idx);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_types::TxId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Diamond: two 2-hop bidirectional routes 0 → 3 of 10 units each.
+    fn diamond() -> (DiGraph, Vec<Amount>) {
+        let mut g = DiGraph::new(4);
+        g.add_channel(n(0), n(1)).unwrap();
+        g.add_channel(n(1), n(3)).unwrap();
+        g.add_channel(n(0), n(2)).unwrap();
+        g.add_channel(n(2), n(3)).unwrap();
+        let balances = vec![Amount::from_units(10); g.edge_count()];
+        (g, balances)
+    }
+
+    fn pay(amount: u64) -> Payment {
+        Payment::new(TxId(1), n(0), n(3), Amount::from_units(amount))
+    }
+
+    #[test]
+    fn probe_collects_hop_balances() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        let caps = cluster.probe(99, &path).unwrap();
+        assert_eq!(caps, vec![10_000_000, 10_000_000]);
+        assert!(cluster.probe_messages() >= 2);
+    }
+
+    #[test]
+    fn commit_confirm_moves_funds_both_directions() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let before = cluster.total_funds();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        assert!(cluster.commit_part(1, &path, Amount::from_units(4)));
+        assert!(cluster.confirm_part(1, &path, Amount::from_units(4)));
+        // Forward balances decreased, reverse increased.
+        let caps = cluster.probe(2, &path).unwrap();
+        assert_eq!(caps, vec![6_000_000, 6_000_000]);
+        let rev = Path::new(vec![n(3), n(1), n(0)], Some(cluster.graph())).unwrap();
+        let rcaps = cluster.probe(3, &rev).unwrap();
+        assert_eq!(rcaps, vec![14_000_000, 14_000_000]);
+        assert_eq!(cluster.total_funds(), before);
+    }
+
+    #[test]
+    fn commit_nack_rolls_back_escrow() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let before = cluster.total_funds();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        // 11 > 10 fails at the very first hop; try 10 then drain and 5.
+        assert!(!cluster.commit_part(1, &path, Amount::from_units(11)));
+        assert_eq!(cluster.total_funds(), before);
+        // Drain hop 1→3, then a mid-path NACK must restore hop 0→1.
+        assert!(cluster.commit_part(2, &path, Amount::from_units(8)));
+        assert!(cluster.confirm_part(2, &path, Amount::from_units(8)));
+        assert!(!cluster.commit_part(3, &path, Amount::from_units(5)));
+        let caps = cluster.probe(4, &path).unwrap();
+        assert_eq!(caps, vec![2_000_000, 2_000_000]);
+        assert_eq!(cluster.total_funds(), before);
+    }
+
+    #[test]
+    fn reverse_restores_committed_part() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let before = cluster.total_funds();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        assert!(cluster.commit_part(1, &path, Amount::from_units(7)));
+        assert!(cluster.reverse_part(1, &path, Amount::from_units(7)));
+        let caps = cluster.probe(2, &path).unwrap();
+        assert_eq!(caps, vec![10_000_000, 10_000_000]);
+        assert_eq!(cluster.total_funds(), before);
+    }
+
+    #[test]
+    fn sp_scheme_end_to_end() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let mut runner =
+            TestbedRunner::new(cluster, SchemeKind::ShortestPath, Amount::MAX, 1);
+        assert!(runner.route_one(&pay(10), PaymentClass::Mice));
+        assert!(!runner.route_one(&pay(11), PaymentClass::Mice));
+    }
+
+    #[test]
+    fn spider_scheme_splits() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let mut runner = TestbedRunner::new(cluster, SchemeKind::Spider, Amount::MAX, 1);
+        assert!(runner.route_one(&pay(15), PaymentClass::Elephant));
+        assert!(!runner.route_one(&pay(30), PaymentClass::Elephant));
+    }
+
+    #[test]
+    fn flash_scheme_mice_and_elephant() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let mut runner =
+            TestbedRunner::new(cluster, SchemeKind::Flash, Amount::from_units(5), 1);
+        assert!(runner.route_one(&pay(3), PaymentClass::Mice));
+        assert!(runner.route_one(&pay(14), PaymentClass::Elephant));
+        let report_funds = runner.cluster().total_funds();
+        assert_eq!(report_funds, 80_000_000);
+    }
+
+    #[test]
+    fn run_trace_reports() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let mut runner =
+            TestbedRunner::new(cluster, SchemeKind::Flash, Amount::from_units(5), 2);
+        let trace = vec![pay(2), pay(3), pay(100)];
+        let report = runner.run_trace(&trace);
+        assert_eq!(report.attempted, 3);
+        assert_eq!(report.succeeded, 2);
+        assert_eq!(report.success_volume, Amount::from_units(5));
+        assert!(report.success_ratio() > 0.6);
+        assert!(report.avg_delay() > Duration::ZERO);
+    }
+
+    #[test]
+    fn launch_rejects_mismatched_tables() {
+        let (g, _) = diamond();
+        assert!(Cluster::launch(g, &[Amount::ZERO]).is_err());
+    }
+}

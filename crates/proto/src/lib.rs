@@ -1,0 +1,36 @@
+//! # pcn-proto
+//!
+//! The testbed prototype of §5: a message-level offchain routing system
+//! over **real TCP sockets** on localhost, reimplementing the paper's
+//! Golang prototype in Rust. One thread-backed [`node::Node`] per
+//! participant (the paper used one process per participant), each bound
+//! to its own `127.0.0.1:port`, realizes the three functions "required
+//! by any routing algorithm: source routing, probing, and atomic payment
+//! processing":
+//!
+//! * [`wire`] — the byte-exact message format of Table 1 (`TransID`,
+//!   `Type`, `Path`, `Capacity`, `Commit`) with nine message types:
+//!   `PROBE`/`PROBE_ACK`, `COMMIT`/`COMMIT_ACK`/`COMMIT_NACK`,
+//!   `CONFIRM`/`CONFIRM_ACK`, `REVERSE`/`REVERSE_ACK`.
+//! * [`transport`] — length-prefixed framing and a lazy connection pool.
+//! * [`node`] — the per-node event loop: probe capacity appending,
+//!   hop-by-hop balance escrow on `COMMIT`, rollback on `COMMIT_NACK`,
+//!   reverse-direction crediting on `CONFIRM_ACK`, and forward-direction
+//!   restoration on `REVERSE` (the two-phase commit of §5.1).
+//! * [`cluster`] — the orchestrator: launches a cluster, implements the
+//!   sender-side routing schemes (Flash / Spider / Shortest Path) on top
+//!   of the protocol, and measures per-transaction processing delay —
+//!   the metric of Figures 12 and 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod fault;
+pub mod node;
+pub mod transport;
+pub mod wire;
+
+pub use cluster::{Cluster, SchemeKind, TestbedReport, TestbedRunner};
+pub use fault::FaultPlan;
+pub use wire::{Message, MsgType};

@@ -1,0 +1,332 @@
+//! The per-participant node runtime.
+//!
+//! Each node owns the balances of its **outgoing** channel directions
+//! (node `u` owns `balance[u → v]`), listens on its own TCP socket, and
+//! executes the protocol state machine of §5.1:
+//!
+//! * `PROBE` — append own next-hop balance to `Capacity`, forward;
+//!   the receiver reverses the path into a `PROBE_ACK`.
+//! * `COMMIT` — escrow (decrement) the next-hop balance and forward;
+//!   on shortfall, emit `COMMIT_NACK` back along the reversed prefix,
+//!   **rolling back** the escrow at every hop it passes.
+//! * `CONFIRM` / `CONFIRM_ACK` — the ACK credits each node's
+//!   reverse-direction balance ("adding the committed funds of this
+//!   sub-payment to the channel in the reverse direction").
+//! * `REVERSE` / `REVERSE_ACK` — restores each node's forward-direction
+//!   escrow for sub-payments abandoned in phase 2.
+//!
+//! The one deviation from the paper's prose: the paper sends `REVERSE`
+//! for *failed* sub-payments too, but hops beyond the NACKing node never
+//! escrowed anything, so a full-path `REVERSE` would over-credit. Here
+//! the `COMMIT_NACK` itself rolls back exactly the hops that escrowed,
+//! and phase-2 `REVERSE` is only used for sub-payments that fully
+//! `COMMIT_ACK`ed. Funds conservation is asserted in the tests.
+
+use crate::transport::{read_message, ConnPool};
+use crate::wire::{Message, MsgType};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Message counters, updated lock-free from reader threads.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// `PROBE` messages forwarded or terminated here (one per hop
+    /// traversed, matching the paper's probing-message metric).
+    pub probe_messages: AtomicU64,
+    /// `COMMIT` messages processed here.
+    pub commit_messages: AtomicU64,
+    /// All messages handled.
+    pub total_messages: AtomicU64,
+}
+
+/// A participant node: balances + TCP endpoint + protocol state machine.
+pub struct Node {
+    id: u32,
+    addr: SocketAddr,
+    /// Outgoing balance per neighbor (micro-units).
+    balances: Mutex<HashMap<u32, u64>>,
+    pool: Arc<ConnPool>,
+    /// Client-side request correlation: `trans_id → reply channel`.
+    pending: Mutex<HashMap<u64, mpsc::Sender<Message>>>,
+    stats: Arc<NodeStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Node {
+    /// Creates the node with its address book and initial balances, and
+    /// spawns the accept loop.
+    pub fn serve(
+        id: u32,
+        listener: TcpListener,
+        addr: SocketAddr,
+        pool: Arc<ConnPool>,
+        balances: HashMap<u32, u64>,
+    ) -> (Arc<Node>, JoinHandle<()>) {
+        let node = Arc::new(Node {
+            id,
+            addr,
+            balances: Mutex::new(balances),
+            pool,
+            pending: Mutex::new(HashMap::new()),
+            stats: Arc::new(NodeStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let accept_node = Arc::clone(&node);
+        let handle = std::thread::spawn(move || accept_loop(accept_node, listener));
+        (node, handle)
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// This node's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Current outgoing balance toward `neighbor` (micro-units).
+    pub fn balance_to(&self, neighbor: u32) -> u64 {
+        self.balances.lock().get(&neighbor).copied().unwrap_or(0)
+    }
+
+    /// Sum of all outgoing balances (conservation checks).
+    pub fn total_outgoing(&self) -> u64 {
+        self.balances.lock().values().sum()
+    }
+
+    /// Registers a reply channel for a client-initiated transaction and
+    /// injects the first message into this node's state machine (the
+    /// sender processes its own hop 0 before anything hits the wire).
+    pub fn start_request(&self, msg: Message) -> mpsc::Receiver<Message> {
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(msg.trans_id, tx);
+        self.handle_message(msg);
+        rx
+    }
+
+    /// Drops the reply registration of a finished transaction.
+    pub fn finish_request(&self, trans_id: u64) {
+        self.pending.lock().remove(&trans_id);
+    }
+
+    /// Requests shutdown of the accept loop (unblocked by a self-connect).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        self.pool.close_all();
+    }
+
+    /// Forwards `msg` to `path[pos + 1]`, incrementing `pos`.
+    fn advance(&self, mut msg: Message) {
+        let Some(next) = msg.next_hop() else {
+            debug_assert!(false, "advance called at end of path");
+            return;
+        };
+        msg.pos += 1;
+        if let Err(e) = self.pool.send(next, &msg) {
+            // Transport failure: the prototype treats the transaction as
+            // timed out at the sender; nothing to do at a relay.
+            eprintln!("node {}: forward to {next} failed: {e}", self.id);
+        }
+    }
+
+    /// Delivers a terminal message to the waiting client, if any.
+    fn deliver(&self, msg: Message) {
+        let sender = self.pending.lock().get(&msg.trans_id).cloned();
+        if let Some(tx) = sender {
+            let _ = tx.send(msg);
+        }
+    }
+
+    /// The protocol state machine. Called for every received message and
+    /// for client-injected ones.
+    pub fn handle_message(&self, msg: Message) {
+        self.stats.total_messages.fetch_add(1, Ordering::Relaxed);
+        match msg.msg_type {
+            MsgType::Probe => self.on_probe(msg),
+            MsgType::Commit => self.on_commit(msg),
+            MsgType::CommitNack => self.on_commit_nack(msg),
+            MsgType::Confirm => self.on_confirm(msg),
+            MsgType::ConfirmAck => self.on_confirm_ack(msg),
+            MsgType::Reverse => self.on_reverse(msg),
+            // Pure relays: ProbeAck, CommitAck, ReverseAck.
+            MsgType::ProbeAck | MsgType::CommitAck | MsgType::ReverseAck => {
+                if msg.at_end() {
+                    self.deliver(msg);
+                } else {
+                    self.advance(msg);
+                }
+            }
+        }
+    }
+
+    fn on_probe(&self, mut msg: Message) {
+        self.stats.probe_messages.fetch_add(1, Ordering::Relaxed);
+        if msg.at_end() {
+            // Receiver: reverse the path into a PROBE_ACK (§5.1: "the
+            // receiver modifies the message type to PROBE_ACK, replaces
+            // the Path field with the reversed version of the forward
+            // path, and sends it back").
+            let mut ack = msg.clone();
+            ack.msg_type = MsgType::ProbeAck;
+            ack.path.reverse();
+            ack.pos = 0;
+            if ack.at_end() {
+                self.deliver(ack); // degenerate 1-node path
+            } else {
+                self.advance(ack);
+            }
+            return;
+        }
+        // Intermediate (or sender): append own balance toward next hop.
+        let next = msg.next_hop().expect("checked not at end");
+        let bal = self.balance_to(next);
+        msg.capacities.push(bal);
+        self.advance(msg);
+    }
+
+    fn on_commit(&self, msg: Message) {
+        self.stats.commit_messages.fetch_add(1, Ordering::Relaxed);
+        if msg.at_end() {
+            // Receiver: all hops escrowed; acknowledge.
+            let mut ack = msg.clone();
+            ack.msg_type = MsgType::CommitAck;
+            ack.path.reverse();
+            ack.pos = 0;
+            if ack.at_end() {
+                self.deliver(ack);
+            } else {
+                self.advance(ack);
+            }
+            return;
+        }
+        let next = msg.next_hop().expect("checked not at end");
+        let mut balances = self.balances.lock();
+        let bal = balances.entry(next).or_insert(0);
+        if *bal >= msg.commit {
+            *bal -= msg.commit;
+            drop(balances);
+            self.advance(msg);
+        } else {
+            drop(balances);
+            // Insufficient balance: NACK back along the reversed prefix.
+            // Nodes before us escrowed and roll back as the NACK passes.
+            let mut prefix: Vec<u32> = msg.path[..=msg.pos as usize].to_vec();
+            prefix.reverse();
+            let mut nack = Message::new(msg.trans_id, MsgType::CommitNack, prefix);
+            nack.commit = msg.commit;
+            if nack.at_end() {
+                self.deliver(nack); // the sender itself lacked balance
+            } else {
+                self.advance(nack);
+            }
+        }
+    }
+
+    fn on_commit_nack(&self, msg: Message) {
+        // Every node the NACK *arrives at* (pos ≥ 1 on the reversed
+        // prefix) escrowed toward the node the NACK came from — restore.
+        if msg.pos > 0 {
+            let from = msg.path[msg.pos as usize - 1];
+            let mut balances = self.balances.lock();
+            *balances.entry(from).or_insert(0) += msg.commit;
+        }
+        if msg.at_end() {
+            self.deliver(msg);
+        } else {
+            self.advance(msg);
+        }
+    }
+
+    fn on_confirm(&self, msg: Message) {
+        if msg.at_end() {
+            // Receiver: start the CONFIRM_ACK wave that credits reverse
+            // directions on its way back to the sender.
+            let mut ack = msg.clone();
+            ack.msg_type = MsgType::ConfirmAck;
+            ack.path.reverse();
+            ack.pos = 0;
+            self.on_confirm_ack(ack);
+            return;
+        }
+        self.advance(msg);
+    }
+
+    fn on_confirm_ack(&self, msg: Message) {
+        if msg.at_end() {
+            self.deliver(msg);
+            return;
+        }
+        // Credit the reverse direction: on the reversed path, my next
+        // hop is my predecessor on the forward path.
+        let next = msg.next_hop().expect("checked not at end");
+        {
+            let mut balances = self.balances.lock();
+            *balances.entry(next).or_insert(0) += msg.commit;
+        }
+        self.advance(msg);
+    }
+
+    fn on_reverse(&self, msg: Message) {
+        if msg.at_end() {
+            let mut ack = msg.clone();
+            ack.msg_type = MsgType::ReverseAck;
+            ack.path.reverse();
+            ack.pos = 0;
+            if ack.at_end() {
+                self.deliver(ack);
+            } else {
+                self.advance(ack);
+            }
+            return;
+        }
+        // Restore the escrowed forward balance.
+        let next = msg.next_hop().expect("checked not at end");
+        {
+            let mut balances = self.balances.lock();
+            *balances.entry(next).or_insert(0) += msg.commit;
+        }
+        self.advance(msg);
+    }
+}
+
+fn accept_loop(node: Arc<Node>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if node.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let reader_node = Arc::clone(&node);
+                std::thread::spawn(move || reader_loop(reader_node, stream));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(node: Arc<Node>, mut stream: TcpStream) {
+    loop {
+        match read_message(&mut stream) {
+            Ok(Some(msg)) => node.handle_message(msg),
+            Ok(None) => break,
+            Err(e) => {
+                if !node.shutdown.load(Ordering::SeqCst) {
+                    eprintln!("node {}: read error: {e}", node.id);
+                }
+                break;
+            }
+        }
+    }
+}

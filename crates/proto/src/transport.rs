@@ -1,0 +1,181 @@
+//! Framed TCP transport and lazy connection pooling.
+//!
+//! Every message travels as a `u32 length || payload` frame (see
+//! [`crate::wire`]). Each node keeps at most one persistent outbound
+//! connection per peer, opened on first use — mirroring how the
+//! prototype binds each node to "a unique ip address and port number
+//! tuple" and exchanges messages over TCP.
+
+use crate::fault::FaultPlan;
+use crate::wire::{Message, MAX_FRAME};
+use parking_lot::Mutex;
+use pcn_types::{PcnError, Result};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Writes one framed message to a stream.
+pub fn write_message(stream: &mut TcpStream, msg: &Message) -> Result<()> {
+    let frame = msg.encode();
+    stream.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one framed message. Returns `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_message(stream: &mut TcpStream) -> Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::UnexpectedEof
+                || e.kind() == std::io::ErrorKind::ConnectionReset =>
+        {
+            return Ok(None)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(PcnError::Codec(format!("invalid frame length {len}")));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(Message::decode(payload.into())?))
+}
+
+/// Lazy outbound connection pool keyed by node id.
+pub struct ConnPool {
+    addrs: HashMap<u32, SocketAddr>,
+    conns: Mutex<HashMap<u32, TcpStream>>,
+    faults: FaultPlan,
+}
+
+impl ConnPool {
+    /// Creates a pool over the cluster address book.
+    pub fn new(addrs: HashMap<u32, SocketAddr>) -> Arc<Self> {
+        Self::with_faults(addrs, FaultPlan::none())
+    }
+
+    /// Creates a pool whose outbound messages pass through a fault plan
+    /// (see [`crate::fault`]).
+    pub fn with_faults(addrs: HashMap<u32, SocketAddr>, faults: FaultPlan) -> Arc<Self> {
+        Arc::new(ConnPool {
+            addrs,
+            conns: Mutex::new(HashMap::new()),
+            faults,
+        })
+    }
+
+    /// Sends `msg` to node `to`, connecting on first use. A stale
+    /// connection (peer restarted) is retried once with a fresh one.
+    /// Under an active fault plan the message may be silently dropped —
+    /// the caller sees success, exactly like a lossy network.
+    pub fn send(&self, to: u32, msg: &Message) -> Result<()> {
+        if self.faults.should_drop() {
+            return Ok(());
+        }
+        let addr = *self
+            .addrs
+            .get(&to)
+            .ok_or_else(|| PcnError::Transport(format!("no address for node {to}")))?;
+        let mut conns = self.conns.lock();
+        if let Some(stream) = conns.get_mut(&to) {
+            if write_message(stream, msg).is_ok() {
+                return Ok(());
+            }
+            conns.remove(&to);
+        }
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        write_message(&mut stream, msg)?;
+        conns.insert(to, stream);
+        Ok(())
+    }
+
+    /// Drops all pooled connections (peers observe EOF).
+    pub fn close_all(&self) {
+        self.conns.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MsgType;
+    use std::net::TcpListener;
+
+    fn msg(id: u64) -> Message {
+        Message::new(id, MsgType::Probe, vec![0, 1])
+    }
+
+    #[test]
+    fn framed_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut got = Vec::new();
+            while let Some(m) = read_message(&mut s).unwrap() {
+                got.push(m);
+            }
+            got
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        write_message(&mut client, &msg(1)).unwrap();
+        write_message(&mut client, &msg(2)).unwrap();
+        drop(client);
+        let got = handle.join().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].trans_id, 1);
+        assert_eq!(got[1].trans_id, 2);
+    }
+
+    #[test]
+    fn pool_reuses_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut count = 0;
+            while let Some(_) = read_message(&mut s).unwrap() {
+                count += 1;
+            }
+            count
+        });
+        let pool = ConnPool::new(HashMap::from([(7, addr)]));
+        pool.send(7, &msg(1)).unwrap();
+        pool.send(7, &msg(2)).unwrap();
+        pool.send(7, &msg(3)).unwrap();
+        pool.close_all();
+        assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let pool = ConnPool::new(HashMap::new());
+        assert!(matches!(
+            pool.send(1, &msg(1)),
+            Err(PcnError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_message(&mut s)
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(&(MAX_FRAME as u32 + 1).to_be_bytes())
+            .unwrap();
+        client.write_all(&[0u8; 16]).unwrap();
+        let res = handle.join().unwrap();
+        assert!(res.is_err());
+    }
+}

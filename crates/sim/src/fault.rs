@@ -1,0 +1,125 @@
+//! Fault injection for probing.
+//!
+//! Real offchain probes race with concurrent payments: "due to network
+//! dynamics it is possible that a payment fails on its path because the
+//! balance of some channel has changed after it was last probed" (§5.1).
+//! The sequential simulator has no concurrency, so [`FaultConfig`]
+//! optionally injects the same effect: probes may be dropped (the router
+//! sees capacity zero) or report stale/noisy balances. Defaults are all
+//! off, matching the paper's simulation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Probe fault-injection parameters.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Probability a probe of a path is lost entirely (router learns
+    /// nothing and must treat the path as unusable).
+    pub probe_drop_prob: f64,
+    /// Relative error injected into each probed balance, in parts per
+    /// million. A value of 100_000 means reports are off by up to ±10%.
+    pub probe_noise_ppm: u64,
+    /// RNG seed for reproducible fault sequences.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            probe_drop_prob: 0.0,
+            probe_noise_ppm: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults (the paper's simulation setting).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds the per-run RNG.
+    pub(crate) fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Whether faults are enabled at all (fast path check).
+    pub fn enabled(&self) -> bool {
+        self.probe_drop_prob > 0.0 || self.probe_noise_ppm > 0
+    }
+
+    /// Applies noise to a probed balance (in micro-units).
+    pub(crate) fn distort(&self, rng: &mut StdRng, micros: u64) -> u64 {
+        if self.probe_noise_ppm == 0 {
+            return micros;
+        }
+        let span = (micros as u128 * self.probe_noise_ppm as u128 / 1_000_000) as u64;
+        if span == 0 {
+            return micros;
+        }
+        let delta = rng.random_range(0..=2 * span);
+        (micros + delta).saturating_sub(span)
+    }
+
+    /// Rolls the probe-drop dice.
+    pub(crate) fn drops_probe(&self, rng: &mut StdRng) -> bool {
+        self.probe_drop_prob > 0.0 && rng.random::<f64>() < self.probe_drop_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let f = FaultConfig::none();
+        assert!(!f.enabled());
+        let mut rng = f.rng();
+        assert_eq!(f.distort(&mut rng, 12345), 12345);
+        assert!(!f.drops_probe(&mut rng));
+    }
+
+    #[test]
+    fn noise_stays_within_bounds() {
+        let f = FaultConfig {
+            probe_noise_ppm: 100_000, // ±10%
+            ..Default::default()
+        };
+        let mut rng = f.rng();
+        for _ in 0..1000 {
+            let v = f.distort(&mut rng, 1_000_000);
+            assert!((900_000..=1_100_000).contains(&v), "{v} out of bounds");
+        }
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let f = FaultConfig {
+            probe_drop_prob: 1.0,
+            ..Default::default()
+        };
+        let mut rng = f.rng();
+        for _ in 0..10 {
+            assert!(f.drops_probe(&mut rng));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = FaultConfig {
+            probe_noise_ppm: 50_000,
+            probe_drop_prob: 0.5,
+            seed: 9,
+        };
+        let run = || {
+            let mut rng = f.rng();
+            (0..20)
+                .map(|_| (f.distort(&mut rng, 777_777), f.drops_probe(&mut rng)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,40 @@
+//! # pcn-sim
+//!
+//! The payment-channel-network simulator behind the paper's §4
+//! evaluation. It owns the only mutable truth in the system — per-channel
+//! balances — and exposes exactly the three operations the paper's
+//! prototype implements (§5.1): **probing**, **source-routed two-phase
+//! commit**, and **atomic multi-path payments**:
+//!
+//! * [`Network`] — topology + balances + fees. Routers never read
+//!   balances directly; they call [`Network::probe_path`] (which meters
+//!   probe messages) or attempt a send (which can fail mid-path exactly
+//!   like a `COMMIT_NACK`).
+//! * Payment sessions — [`Network::begin_payment`] opens an atomic
+//!   session; parts reserved with [`PaymentSession::try_send_part`] are
+//!   escrowed and either all committed ([`PaymentSession::commit`],
+//!   crediting the reverse channel direction like the prototype's
+//!   `CONFIRM_ACK`) or all reversed ([`PaymentSession::abort`]).
+//! * [`Metrics`] — success ratio / success volume / probing messages /
+//!   fees, the exact quantities plotted in Figures 6–13.
+//! * [`FaultConfig`] — optional fault injection (stale probes, probe
+//!   loss), in the spirit of the smoltcp examples' `--drop-chance`.
+//!
+//! Total funds are conserved exactly (integer micro-units): every debit
+//! of a forward balance is matched by a credit of escrow and ultimately
+//! of the reverse balance, which the property tests assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod metrics;
+pub mod network;
+pub mod outcome;
+pub mod router;
+
+pub use fault::FaultConfig;
+pub use metrics::{ClassMetrics, Metrics};
+pub use network::{ChannelInfo, Network, PaymentSession, ProbeReport};
+pub use outcome::{FailureReason, RouteOutcome};
+pub use router::Router;

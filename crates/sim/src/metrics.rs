@@ -1,0 +1,161 @@
+//! Evaluation metrics.
+//!
+//! "Similar to prior work, we use success ratio, success volume and
+//! number of probing messages as the primary metrics" (§4.1). Fees and
+//! commit-message counts are additionally tracked for Figures 9 and the
+//! testbed delay analysis.
+
+use pcn_types::{Amount, PaymentClass};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one traffic class (elephant or mice).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Payments attempted.
+    pub attempted: u64,
+    /// Payments fully delivered.
+    pub succeeded: u64,
+    /// Volume attempted.
+    pub attempted_volume: Amount,
+    /// Volume of fully delivered payments.
+    pub success_volume: Amount,
+}
+
+impl ClassMetrics {
+    /// Success ratio in [0, 1]; zero when nothing was attempted.
+    pub fn success_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.succeeded as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Aggregated simulation metrics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Elephant-class counters.
+    pub elephant: ClassMetrics,
+    /// Mice-class counters.
+    pub mice: ClassMetrics,
+    /// Probe messages sent (one per hop traversed by a probe, as in the
+    /// paper: "The number of probing messages along a path is
+    /// proportional to the number of hops of the path").
+    pub probe_messages: u64,
+    /// Commit-phase messages sent (hops traversed by COMMIT attempts).
+    pub commit_messages: u64,
+    /// Total transaction fees charged on successful payments.
+    pub fees_paid: Amount,
+    /// Number of distinct paths used by successful payments.
+    pub paths_used: u64,
+}
+
+impl Metrics {
+    /// Records a payment attempt.
+    pub fn record_attempt(&mut self, class: PaymentClass, volume: Amount) {
+        let c = self.class_mut(class);
+        c.attempted += 1;
+        c.attempted_volume = c.attempted_volume.saturating_add(volume);
+    }
+
+    /// Records a fully delivered payment.
+    pub fn record_success(
+        &mut self,
+        class: PaymentClass,
+        volume: Amount,
+        fees: Amount,
+        paths: u64,
+    ) {
+        let c = self.class_mut(class);
+        c.succeeded += 1;
+        c.success_volume = c.success_volume.saturating_add(volume);
+        self.fees_paid = self.fees_paid.saturating_add(fees);
+        self.paths_used += paths;
+    }
+
+    fn class_mut(&mut self, class: PaymentClass) -> &mut ClassMetrics {
+        match class {
+            PaymentClass::Elephant => &mut self.elephant,
+            PaymentClass::Mice => &mut self.mice,
+        }
+    }
+
+    /// Combined counters over both classes.
+    pub fn total(&self) -> ClassMetrics {
+        ClassMetrics {
+            attempted: self.elephant.attempted + self.mice.attempted,
+            succeeded: self.elephant.succeeded + self.mice.succeeded,
+            attempted_volume: self
+                .elephant
+                .attempted_volume
+                .saturating_add(self.mice.attempted_volume),
+            success_volume: self
+                .elephant
+                .success_volume
+                .saturating_add(self.mice.success_volume),
+        }
+    }
+
+    /// Overall success ratio in [0, 1].
+    pub fn success_ratio(&self) -> f64 {
+        self.total().success_ratio()
+    }
+
+    /// Overall success volume.
+    pub fn success_volume(&self) -> Amount {
+        self.total().success_volume
+    }
+
+    /// Fee-to-volume ratio in percent (Figure 9's y-axis), zero when no
+    /// volume succeeded.
+    pub fn fee_ratio_percent(&self) -> f64 {
+        let v = self.success_volume();
+        if v.is_zero() {
+            0.0
+        } else {
+            100.0 * self.fees_paid.micros() as f64 / v.micros() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_types::PaymentClass::{Elephant, Mice};
+
+    #[test]
+    fn attempt_and_success_accounting() {
+        let mut m = Metrics::default();
+        m.record_attempt(Mice, Amount::from_units(5));
+        m.record_attempt(Elephant, Amount::from_units(100));
+        m.record_success(Mice, Amount::from_units(5), Amount::from_units(1), 1);
+        assert_eq!(m.total().attempted, 2);
+        assert_eq!(m.total().succeeded, 1);
+        assert_eq!(m.success_volume(), Amount::from_units(5));
+        assert_eq!(m.mice.success_ratio(), 1.0);
+        assert_eq!(m.elephant.success_ratio(), 0.0);
+        assert_eq!(m.success_ratio(), 0.5);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_ratios() {
+        let m = Metrics::default();
+        assert_eq!(m.success_ratio(), 0.0);
+        assert_eq!(m.fee_ratio_percent(), 0.0);
+    }
+
+    #[test]
+    fn fee_ratio_percent_matches_hand_math() {
+        let mut m = Metrics::default();
+        m.record_attempt(Elephant, Amount::from_units(1000));
+        m.record_success(
+            Elephant,
+            Amount::from_units(1000),
+            Amount::from_units(15),
+            3,
+        );
+        assert!((m.fee_ratio_percent() - 1.5).abs() < 1e-9);
+        assert_eq!(m.paths_used, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Routing outcomes reported back to the experiment harness.
+
+use pcn_types::Amount;
+use serde::{Deserialize, Serialize};
+
+/// Why a payment failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// No path exists between sender and receiver in the topology.
+    NoRoute,
+    /// Paths exist but their combined usable capacity fell short of the
+    /// demand ("when m paths are exhausted and demand is not satisfied,
+    /// Flash declares the payment fails").
+    InsufficientCapacity,
+    /// Probing failed (only under fault injection).
+    ProbeLost,
+}
+
+/// The result of routing a single payment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteOutcome {
+    /// Payment delivered in full.
+    Success {
+        /// Amount delivered (the payment's full demand).
+        volume: Amount,
+        /// Total fees charged across all channels and parts.
+        fees: Amount,
+        /// Number of paths the payment was split over.
+        paths_used: u32,
+    },
+    /// Payment failed; no balance changes were applied.
+    Failure {
+        /// The reason for the failure.
+        reason: FailureReason,
+    },
+}
+
+impl RouteOutcome {
+    /// Whether the payment succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, RouteOutcome::Success { .. })
+    }
+
+    /// Convenience constructor for failures.
+    pub fn failure(reason: FailureReason) -> Self {
+        RouteOutcome::Failure { reason }
+    }
+
+    /// Delivered volume (zero on failure).
+    pub fn volume(&self) -> Amount {
+        match self {
+            RouteOutcome::Success { volume, .. } => *volume,
+            RouteOutcome::Failure { .. } => Amount::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        let s = RouteOutcome::Success {
+            volume: Amount::from_units(5),
+            fees: Amount::ZERO,
+            paths_used: 1,
+        };
+        assert!(s.is_success());
+        assert_eq!(s.volume(), Amount::from_units(5));
+        let f = RouteOutcome::failure(FailureReason::NoRoute);
+        assert!(!f.is_success());
+        assert_eq!(f.volume(), Amount::ZERO);
+    }
+}

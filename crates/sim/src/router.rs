@@ -1,0 +1,35 @@
+//! The router abstraction every scheme implements.
+
+use crate::{Network, RouteOutcome};
+use pcn_types::{Payment, PaymentClass};
+
+/// A source-routing scheme.
+///
+/// The experiment harness classifies each payment against the configured
+/// elephant threshold (the paper sets it so 90% of payments are mice) and
+/// hands the payment to the router. Flash changes algorithm based on
+/// `class`; the baselines ignore it (they "treat all payments equally
+/// through the same routing mechanism", §2.2) but the class still flows
+/// into the metrics so per-class breakdowns are comparable.
+///
+/// Routers interact with the network **only** through probing and
+/// payment sessions — they never read balances directly, which is what
+/// makes the probing-overhead comparison (Figure 8) meaningful.
+pub trait Router {
+    /// Short scheme name for reports ("Flash", "Spider", ...).
+    fn name(&self) -> &'static str;
+
+    /// Routes one payment, driving probes and an atomic payment session
+    /// on `net`. Must leave balances untouched when returning a failure.
+    fn route(
+        &mut self,
+        net: &mut Network,
+        payment: &Payment,
+        class: PaymentClass,
+    ) -> RouteOutcome;
+
+    /// Notification that the local topology was refreshed (the gossip
+    /// protocol of §3.1). Routers with caches (Flash's routing table,
+    /// SpeedyMurmurs' embeddings) recompute them here.
+    fn on_topology_refresh(&mut self, _net: &Network) {}
+}

@@ -1,0 +1,131 @@
+//! Shared error vocabulary.
+
+use crate::{Amount, NodeId, TxId};
+use std::fmt;
+
+/// Errors surfaced by the PCN substrates and routers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PcnError {
+    /// A node id referenced a node outside the topology.
+    UnknownNode(NodeId),
+    /// A channel `(from, to)` does not exist in the topology.
+    UnknownChannel(NodeId, NodeId),
+    /// No path with non-zero capacity exists between sender and receiver.
+    NoRoute {
+        /// Sender of the failed payment.
+        sender: NodeId,
+        /// Receiver of the failed payment.
+        receiver: NodeId,
+    },
+    /// A payment could not be delivered in full.
+    InsufficientCapacity {
+        /// The payment that failed.
+        tx: TxId,
+        /// The demand requested.
+        demanded: Amount,
+        /// The maximum deliverable amount found.
+        available: Amount,
+    },
+    /// A channel balance update would underflow (double-spend attempt).
+    BalanceUnderflow {
+        /// Channel sender endpoint.
+        from: NodeId,
+        /// Channel receiver endpoint.
+        to: NodeId,
+        /// Balance at the time of the attempt.
+        balance: Amount,
+        /// Amount that was to be deducted.
+        debit: Amount,
+    },
+    /// The LP solver reported the program infeasible.
+    Infeasible(String),
+    /// The LP solver reported the program unbounded.
+    Unbounded,
+    /// A malformed wire message was received by the prototype.
+    Codec(String),
+    /// A transport-level failure in the testbed prototype.
+    Transport(String),
+    /// A protocol invariant was violated (e.g. unexpected message type).
+    Protocol(String),
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcnError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            PcnError::UnknownChannel(u, v) => write!(f, "unknown channel {u}→{v}"),
+            PcnError::NoRoute { sender, receiver } => {
+                write!(f, "no route from {sender} to {receiver}")
+            }
+            PcnError::InsufficientCapacity {
+                tx,
+                demanded,
+                available,
+            } => write!(
+                f,
+                "{tx}: insufficient capacity (demanded {demanded}, available {available})"
+            ),
+            PcnError::BalanceUnderflow {
+                from,
+                to,
+                balance,
+                debit,
+            } => write!(
+                f,
+                "balance underflow on {from}→{to}: balance {balance}, debit {debit}"
+            ),
+            PcnError::Infeasible(why) => write!(f, "LP infeasible: {why}"),
+            PcnError::Unbounded => write!(f, "LP unbounded"),
+            PcnError::Codec(why) => write!(f, "codec error: {why}"),
+            PcnError::Transport(why) => write!(f, "transport error: {why}"),
+            PcnError::Protocol(why) => write!(f, "protocol error: {why}"),
+            PcnError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PcnError {}
+
+impl From<std::io::Error> for PcnError {
+    fn from(e: std::io::Error) -> Self {
+        PcnError::Transport(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PcnError::NoRoute {
+            sender: NodeId(1),
+            receiver: NodeId(2),
+        };
+        assert_eq!(e.to_string(), "no route from n1 to n2");
+
+        let e = PcnError::BalanceUnderflow {
+            from: NodeId(0),
+            to: NodeId(1),
+            balance: Amount::from_units(1),
+            debit: Amount::from_units(2),
+        };
+        assert!(e.to_string().contains("underflow"));
+        assert!(e.to_string().contains("balance 1"));
+    }
+
+    #[test]
+    fn io_error_converts_to_transport() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer gone");
+        let e: PcnError = io.into();
+        assert!(matches!(e, PcnError::Transport(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PcnError::Unbounded);
+    }
+}

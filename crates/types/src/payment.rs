@@ -1,0 +1,118 @@
+//! Payments and the elephant/mice classification.
+
+use crate::{Amount, NodeId, TxId};
+use serde::{Deserialize, Serialize};
+
+/// A payment request: "a payment `(s, t, d)` from `s` to `t` with demand
+/// `d`" (Algorithm 1 of the paper), plus bookkeeping identity and arrival
+/// order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Payment {
+    /// Unique transaction id.
+    pub id: TxId,
+    /// Sender `s`.
+    pub sender: NodeId,
+    /// Receiver `t`.
+    pub receiver: NodeId,
+    /// Demand `d` — the full amount to deliver.
+    pub amount: Amount,
+    /// Arrival sequence number (payments arrive at senders sequentially).
+    pub seq: u64,
+}
+
+impl Payment {
+    /// Creates a payment with `seq` equal to the transaction id's value.
+    pub fn new(id: TxId, sender: NodeId, receiver: NodeId, amount: Amount) -> Self {
+        Payment {
+            id,
+            sender,
+            receiver,
+            amount,
+            seq: id.0,
+        }
+    }
+
+    /// Classifies this payment against an elephant threshold: payments
+    /// *strictly above* the threshold are elephants.
+    ///
+    /// The paper sets the threshold such that 90% of payments fall at or
+    /// below it (mice).
+    pub fn classify(&self, elephant_threshold: Amount) -> PaymentClass {
+        if self.amount > elephant_threshold {
+            PaymentClass::Elephant
+        } else {
+            PaymentClass::Mice
+        }
+    }
+}
+
+/// The two traffic classes Flash differentiates (§2.2, §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaymentClass {
+    /// Large, rare payments that dominate volume; routed with the modified
+    /// max-flow algorithm plus fee-minimizing splits.
+    Elephant,
+    /// Small, frequent, highly recurrent payments; routed via the cached
+    /// routing table with trial-and-error.
+    Mice,
+}
+
+impl PaymentClass {
+    /// True if this is an elephant payment.
+    #[inline]
+    pub const fn is_elephant(self) -> bool {
+        matches!(self, PaymentClass::Elephant)
+    }
+
+    /// True if this is a mice payment.
+    #[inline]
+    pub const fn is_mice(self) -> bool {
+        matches!(self, PaymentClass::Mice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pay(amount: u64) -> Payment {
+        Payment::new(
+            TxId(1),
+            NodeId(0),
+            NodeId(1),
+            Amount::from_units(amount),
+        )
+    }
+
+    #[test]
+    fn classify_strictly_above_threshold_is_elephant() {
+        let threshold = Amount::from_units(100);
+        assert_eq!(pay(100).classify(threshold), PaymentClass::Mice);
+        assert_eq!(pay(101).classify(threshold), PaymentClass::Elephant);
+        assert_eq!(pay(0).classify(threshold), PaymentClass::Mice);
+    }
+
+    #[test]
+    fn zero_threshold_makes_everything_nonzero_an_elephant() {
+        assert_eq!(pay(1).classify(Amount::ZERO), PaymentClass::Elephant);
+        assert_eq!(pay(0).classify(Amount::ZERO), PaymentClass::Mice);
+    }
+
+    #[test]
+    fn max_threshold_makes_everything_mice() {
+        assert_eq!(pay(u64::MAX / 2).classify(Amount::MAX), PaymentClass::Mice);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(PaymentClass::Elephant.is_elephant());
+        assert!(!PaymentClass::Elephant.is_mice());
+        assert!(PaymentClass::Mice.is_mice());
+    }
+
+    #[test]
+    fn new_sets_seq_from_txid() {
+        let p = Payment::new(TxId(42), NodeId(0), NodeId(1), Amount::UNIT);
+        assert_eq!(p.seq, 42);
+    }
+}

@@ -1,0 +1,238 @@
+//! Topology synthesis with channel-fund assignment.
+//!
+//! See DESIGN.md substitution #2: the crawled Ripple/Lightning
+//! topologies are replaced by scale-free graphs at the paper's exact
+//! node/channel scale, with skewed fund distributions matching the
+//! published medians.
+
+use pcn_graph::{generators, DiGraph};
+use pcn_sim::Network;
+use pcn_types::{Amount, FeePolicy};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, LogNormal};
+
+/// Nodes in the processed Ripple topology (§4.1).
+pub const RIPPLE_NODES: usize = 1870;
+/// Directed edges in the processed Ripple topology (§4.1); every channel
+/// contributes two, so 8,708 channels.
+pub const RIPPLE_EDGES: usize = 17_416;
+/// Median per-direction channel capacity in Ripple: "the medium channel
+/// capacity ... in Ripple is 250 USD" (§4.2).
+pub const RIPPLE_MEDIAN_CAPACITY_USD: f64 = 250.0;
+
+/// Nodes in the Lightning snapshot (§4.1).
+pub const LIGHTNING_NODES: usize = 2511;
+/// Channels in the Lightning snapshot (§4.1).
+pub const LIGHTNING_CHANNELS: usize = 36_016;
+/// Median channel capacity in Lightning: "around 500,000 Satoshi" (§4.2).
+pub const LIGHTNING_MEDIAN_CAPACITY_SAT: f64 = 500_000.0;
+
+/// Builds the Ripple-scale network: 1,870 nodes, 8,708 bidirectional
+/// channels (17,416 directed edges). Channel funds are log-normally
+/// distributed with median $250 and "evenly assign[ed] ... over both
+/// directions of a channel" exactly as the paper post-processes its
+/// crawl (both directions get the same balance).
+pub fn ripple_topology(seed: u64) -> Network {
+    let graph = generators::scale_free_with_channels(RIPPLE_NODES, RIPPLE_EDGES / 2, seed);
+    assign_lognormal_funds(graph, RIPPLE_MEDIAN_CAPACITY_USD, 1.2, true, seed ^ 0xA5A5)
+}
+
+/// Builds the Lightning-scale network: 2,511 nodes, 36,016 channels.
+/// Lightning funds sit on one side at channel open, and the paper uses
+/// "the crawled distribution of funds on channels directly" — synthesized
+/// here as a wider log-normal (σ = 1.6) with median 500,000 satoshi,
+/// split *unevenly* between the two directions (a random cut), matching
+/// how real Lightning balances look mid-life.
+pub fn lightning_topology(seed: u64) -> Network {
+    let graph =
+        generators::scale_free_with_channels(LIGHTNING_NODES, LIGHTNING_CHANNELS, seed);
+    assign_lognormal_funds(
+        graph,
+        LIGHTNING_MEDIAN_CAPACITY_SAT,
+        1.6,
+        false,
+        seed ^ 0x5A5A,
+    )
+}
+
+/// Builds a §5.2 testbed network: a Watts–Strogatz graph of `n` nodes
+/// (degree 4, rewiring 0.3) with per-direction capacities drawn
+/// uniformly from `[lo, hi)` USD.
+pub fn testbed_topology(n: usize, lo: u64, hi: u64, seed: u64) -> Network {
+    assert!(lo < hi, "capacity interval must be non-empty");
+    let graph = generators::watts_strogatz(n, 4, 0.3, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let balances: Vec<Amount> = (0..graph.edge_count())
+        .map(|_| Amount::from_units(rng.random_range(lo..hi)))
+        .collect();
+    let fees = vec![FeePolicy::FREE; graph.edge_count()];
+    Network::new(graph, balances, fees).expect("tables sized from graph")
+}
+
+/// Assigns log-normal channel funds with the given median (native
+/// units). With `symmetric`, both directions of a channel get the same
+/// balance; otherwise the channel total is split by a uniform random
+/// fraction.
+fn assign_lognormal_funds(
+    graph: DiGraph,
+    median: f64,
+    sigma: f64,
+    symmetric: bool,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = LogNormal::new(median.ln(), sigma).expect("valid log-normal parameters");
+    let mut balances = vec![Amount::ZERO; graph.edge_count()];
+    let edges: Vec<_> = graph.edges().collect();
+    for (e, _, _) in &edges {
+        if balances[e.index()] != Amount::ZERO {
+            continue; // already set via its reverse partner
+        }
+        let rev = graph.reverse_edge(*e);
+        let side = dist.sample(&mut rng).max(1e-6);
+        if symmetric {
+            balances[e.index()] = Amount::from_units_f64(side);
+            if let Some(r) = rev {
+                balances[r.index()] = Amount::from_units_f64(side);
+            }
+        } else {
+            // `side` is the per-side median scale; the channel total is
+            // twice that, split at a random point.
+            let total = 2.0 * side;
+            let cut = rng.random::<f64>();
+            balances[e.index()] = Amount::from_units_f64(total * cut);
+            if let Some(r) = rev {
+                balances[r.index()] = Amount::from_units_f64(total * (1.0 - cut));
+            }
+        }
+    }
+    let fees = vec![FeePolicy::FREE; graph.edge_count()];
+    Network::new(graph, balances, fees).expect("tables sized from graph")
+}
+
+/// Assigns the Figure 9 fee distribution: "We set 90% channels with a
+/// random fees from 0.1% to 1% and 10% channels from 1% to 10% of the
+/// volume." Both directions of a channel share one policy.
+pub fn assign_paper_fees(net: &mut Network, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<_> = net.graph().edges().map(|(e, _, _)| e).collect();
+    let graph = net.graph().clone();
+    let mut done = vec![false; edges.len()];
+    for e in edges {
+        if done[e.index()] {
+            continue;
+        }
+        let ppm = if rng.random::<f64>() < 0.9 {
+            rng.random_range(1_000..10_000) // 0.1%–1%
+        } else {
+            rng.random_range(10_000..100_000) // 1%–10%
+        };
+        let policy = FeePolicy::proportional(ppm);
+        net.set_fee_policy(e, policy);
+        done[e.index()] = true;
+        if let Some(r) = graph.reverse_edge(e) {
+            net.set_fee_policy(r, policy);
+            done[r.index()] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_scale_matches_paper() {
+        let net = ripple_topology(1);
+        assert_eq!(net.graph().node_count(), RIPPLE_NODES);
+        assert_eq!(net.graph().edge_count(), RIPPLE_EDGES);
+    }
+
+    #[test]
+    fn ripple_funds_are_symmetric_with_sane_median() {
+        let net = ripple_topology(2);
+        let g = net.graph();
+        let mut balances = Vec::new();
+        for (e, _, _) in g.edges() {
+            let r = g.reverse_edge(e).expect("channels are bidirectional");
+            assert_eq!(net.balance(e), net.balance(r), "even split per direction");
+            balances.push(net.balance(e).as_units_f64());
+        }
+        balances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = balances[balances.len() / 2];
+        assert!(
+            (100.0..600.0).contains(&median),
+            "median per-direction capacity {median} should be ≈ $250"
+        );
+    }
+
+    // Lightning-scale construction is exercised (slowly) in the
+    // integration tests; here a reduced-scale smoke check of the
+    // asymmetric-split path.
+    #[test]
+    fn asymmetric_split_conserves_channel_total() {
+        let graph = generators::scale_free_with_channels(60, 150, 3);
+        let net = assign_lognormal_funds(graph, 1000.0, 1.0, false, 77);
+        let g = net.graph();
+        for (e, _, _) in g.edges() {
+            let r = g.reverse_edge(e).unwrap();
+            let total = net.balance(e).saturating_add(net.balance(r));
+            assert!(total > Amount::ZERO);
+        }
+    }
+
+    #[test]
+    fn testbed_capacities_in_interval() {
+        let net = testbed_topology(50, 1000, 1500, 4);
+        assert_eq!(net.graph().node_count(), 50);
+        for (e, _, _) in net.graph().edges() {
+            let b = net.balance(e).as_units_f64();
+            assert!((1000.0..1500.0).contains(&b), "capacity {b} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn testbed_rejects_empty_interval() {
+        testbed_topology(50, 1500, 1500, 4);
+    }
+
+    #[test]
+    fn paper_fees_hit_both_bands() {
+        let mut net = testbed_topology(100, 1000, 1500, 5);
+        assign_paper_fees(&mut net, 9);
+        let mut low = 0usize;
+        let mut high = 0usize;
+        let g = net.graph().clone();
+        for (e, _, _) in g.edges() {
+            let ppm = net.fee_policy(e).rate_ppm;
+            assert!((1_000..100_000).contains(&ppm));
+            if ppm < 10_000 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+            // Both directions share a policy.
+            let r = g.reverse_edge(e).unwrap();
+            assert_eq!(net.fee_policy(e), net.fee_policy(r));
+        }
+        let frac_low = low as f64 / (low + high) as f64;
+        assert!(
+            (0.8..=0.97).contains(&frac_low),
+            "≈90% of channels should be in the low band, got {frac_low}"
+        );
+    }
+
+    #[test]
+    fn topologies_are_deterministic() {
+        let a = testbed_topology(30, 1000, 1500, 11);
+        let b = testbed_topology(30, 1000, 1500, 11);
+        let ea: Vec<_> = a.graph().edges().collect();
+        let eb: Vec<_> = b.graph().edges().collect();
+        assert_eq!(ea, eb);
+        for (e, _, _) in a.graph().edges() {
+            assert_eq!(a.balance(e), b.balance(e));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small payment channel network, route payments
+//! with Flash, and inspect the outcome.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use flash_offchain::core::{classify, FlashConfig, FlashRouter};
+use flash_offchain::graph::generators;
+use flash_offchain::sim::{Network, Router};
+use flash_offchain::types::{Amount, NodeId, Payment, TxId};
+
+fn main() {
+    // A 40-node small-world topology with bidirectional channels of
+    // $200 per direction.
+    let graph = generators::watts_strogatz(40, 4, 0.3, 7);
+    let mut net = Network::uniform(graph, Amount::from_units(200));
+
+    // A toy workload: payments of varying sizes between fixed pairs.
+    let payments: Vec<Payment> = (0..20)
+        .map(|i| {
+            Payment::new(
+                TxId(i),
+                NodeId((i % 7) as u32),
+                NodeId((13 + i % 11) as u32),
+                Amount::from_units(if i % 5 == 0 { 450 } else { 12 }),
+            )
+        })
+        .collect();
+
+    // Threshold so that 90% of payments are mice (the paper's setting).
+    let amounts: Vec<Amount> = payments.iter().map(|p| p.amount).collect();
+    let threshold = classify::threshold_for_mice_fraction(&amounts, 0.9);
+    println!("elephant threshold: ${threshold}");
+
+    let mut flash = FlashRouter::new(FlashConfig {
+        elephant_threshold: threshold,
+        ..Default::default()
+    });
+
+    for p in &payments {
+        let class = p.classify(threshold);
+        let outcome = flash.route(&mut net, p, class);
+        println!(
+            "{} {}→{} ${:<8} [{class:?}] {outcome:?}",
+            p.id, p.sender, p.receiver, p.amount
+        );
+    }
+
+    let m = net.metrics();
+    println!("\nsuccess ratio:  {:.1}%", m.success_ratio() * 100.0);
+    println!("success volume: ${}", m.success_volume());
+    println!("probe messages: {}", m.probe_messages);
+    println!("routing table:  {} receivers cached", flash.routing_table_len());
+}

@@ -1,0 +1,43 @@
+//! Testbed walkthrough: launches a real TCP cluster (one node per
+//! participant on 127.0.0.1), routes payments with the two-phase commit
+//! protocol of §5.1, and prints per-scheme processing delays.
+//!
+//! ```sh
+//! cargo run --example testbed_cluster
+//! ```
+
+use flash_offchain::proto::{Cluster, SchemeKind, TestbedRunner};
+use flash_offchain::types::Amount;
+use flash_offchain::workload::testbed_topology;
+use flash_offchain::workload::trace::{generate_trace, TraceConfig};
+
+fn main() {
+    let nodes = 30;
+    let (lo, hi) = (1000, 1500);
+    println!("launching {nodes}-node Watts-Strogatz cluster, capacities U[${lo},${hi})...");
+
+    let trace_topo = testbed_topology(nodes, lo, hi, 42);
+    let trace = generate_trace(trace_topo.graph(), &TraceConfig::ripple(150, 7));
+    let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+    let threshold =
+        flash_offchain::core::classify::threshold_for_mice_fraction(&amounts, 0.9);
+
+    for scheme in [SchemeKind::ShortestPath, SchemeKind::Spider, SchemeKind::Flash] {
+        // Fresh cluster per scheme: identical initial balances.
+        let topo = testbed_topology(nodes, lo, hi, 42);
+        let graph = topo.graph().clone();
+        let balances: Vec<Amount> = graph.edges().map(|(e, _, _)| topo.balance(e)).collect();
+        let cluster = Cluster::launch(graph, &balances).expect("cluster launch");
+        let mut runner = TestbedRunner::new(cluster, scheme, threshold, 13);
+        let report = runner.run_trace(&trace);
+        println!(
+            "{:>6}: success {:>5.1}%  volume ${:<12} avg delay {:>9.1?}  probes {}",
+            scheme.name(),
+            report.success_ratio() * 100.0,
+            report.success_volume.as_units_f64(),
+            report.avg_delay(),
+            report.probe_messages,
+        );
+    }
+    println!("done — all balance movement happened via PROBE/COMMIT/CONFIRM frames over TCP.");
+}

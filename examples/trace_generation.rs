@@ -1,0 +1,53 @@
+//! Workload synthesis walkthrough: generate a Ripple-calibrated trace
+//! and verify the paper's §2.2 statistics hold on it (the Figure 3/4
+//! measurement study, regenerated).
+//!
+//! ```sh
+//! cargo run --example trace_generation
+//! ```
+
+use flash_offchain::workload::stats::{
+    daily_recurrence, quantile, top_fraction_volume_share,
+};
+use flash_offchain::workload::trace::{generate_trace, to_jsonl, TraceConfig};
+use flash_offchain::workload::{ripple_topology, SizeModel};
+
+fn main() {
+    println!("building Ripple-scale topology (1,870 nodes / 17,416 edges)...");
+    let net = ripple_topology(1);
+    println!("generating 20,000-payment trace...");
+    let trace = generate_trace(net.graph(), &TraceConfig::ripple(20_000, 2));
+
+    let sizes: Vec<f64> = trace.iter().map(|p| p.amount.as_units_f64()).collect();
+    println!("\npayment sizes (paper §2.2 targets in parentheses):");
+    println!("  median: ${:.2}   ($4.8)", quantile(&sizes, 0.5));
+    println!("  p90:    ${:.0}   ($1,740)", quantile(&sizes, 0.9));
+    println!(
+        "  top-10% volume share: {:.1}%   (94.5%)",
+        top_fraction_volume_share(&sizes, 0.1) * 100.0
+    );
+
+    let days = daily_recurrence(&trace, 2000);
+    let mut rec: Vec<f64> = days.iter().map(|d| d.recurring_fraction).collect();
+    rec.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("\nrecurrence across {} synthetic days:", days.len());
+    println!(
+        "  median recurring fraction: {:.0}%   (86%)",
+        rec[rec.len() / 2] * 100.0
+    );
+    let top5: Vec<f64> = days.iter().map(|d| d.top5_share).collect();
+    println!(
+        "  mean top-5 share: {:.0}%   (>70%)",
+        top5.iter().sum::<f64>() / top5.len() as f64 * 100.0
+    );
+
+    // Bitcoin-style sizes for the Lightning experiments.
+    let btc = SizeModel::BitcoinSatoshi.sample_many(20_000, 3);
+    let btc_sizes: Vec<f64> = btc.iter().map(|a| a.as_units_f64()).collect();
+    println!("\nbitcoin sizes: median {:.3e} sat (1.293e6), p90 {:.3e} sat (8.9e7)",
+        quantile(&btc_sizes, 0.5), quantile(&btc_sizes, 0.9));
+
+    // Traces serialize to JSON lines, like the paper's released dataset.
+    let jsonl = to_jsonl(&trace[..3]);
+    println!("\nfirst trace records:\n{jsonl}");
+}

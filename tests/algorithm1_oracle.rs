@@ -1,0 +1,89 @@
+//! Algorithm 1 vs. the classic Edmonds–Karp oracle: on random
+//! topologies, Flash's k-bounded lazily-probing max-flow must (a) never
+//! exceed the true max-flow of the probed capacities, (b) reach it
+//! exactly when k is unbounded, and (c) be monotone in k.
+
+use flash_offchain::core::flash::elephant::{find_paths, oracle_max_flow};
+use flash_offchain::graph::generators;
+use flash_offchain::sim::Network;
+use flash_offchain::types::{Amount, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bounded_flow_never_exceeds_oracle(
+        seed in 0u64..200,
+        k in 1usize..6,
+        s in 0u32..12,
+        t in 0u32..12,
+    ) {
+        prop_assume!(s != t);
+        let g = generators::watts_strogatz(12, 4, 0.4, seed);
+        let mut net = Network::uniform(g, Amount::from_units(5 + seed % 20));
+        let plan = find_paths(
+            &mut net, NodeId(s), NodeId(t), Amount::from_units(1_000_000), k,
+        );
+        let oracle = oracle_max_flow(net.graph(), &plan, NodeId(s), NodeId(t));
+        prop_assert!(plan.max_flow <= oracle,
+            "k-bounded flow {} exceeds oracle {oracle}", plan.max_flow);
+    }
+
+    #[test]
+    fn unbounded_k_matches_oracle(
+        seed in 0u64..200,
+        s in 0u32..12,
+        t in 0u32..12,
+    ) {
+        prop_assume!(s != t);
+        let g = generators::watts_strogatz(12, 4, 0.4, seed);
+        let mut net = Network::uniform(g, Amount::from_units(5 + seed % 20));
+        let plan = find_paths(
+            &mut net, NodeId(s), NodeId(t), Amount::from_units(1_000_000), 10_000,
+        );
+        let oracle = oracle_max_flow(net.graph(), &plan, NodeId(s), NodeId(t));
+        prop_assert_eq!(plan.max_flow, oracle);
+    }
+
+    #[test]
+    fn flow_is_monotone_in_k(
+        seed in 0u64..100,
+        s in 0u32..12,
+        t in 0u32..12,
+    ) {
+        prop_assume!(s != t);
+        let g = generators::watts_strogatz(12, 4, 0.4, seed);
+        let mut prev = Amount::ZERO;
+        for k in [1usize, 2, 4, 8, 16] {
+            let mut net = Network::uniform(g.clone(), Amount::from_units(9));
+            let plan = find_paths(
+                &mut net, NodeId(s), NodeId(t), Amount::from_units(1_000_000), k,
+            );
+            prop_assert!(plan.max_flow >= prev,
+                "flow decreased from {prev} to {} at k={k}", plan.max_flow);
+            prev = plan.max_flow;
+        }
+    }
+
+    /// The demand-aware early exit stops probing once satisfied: the
+    /// probe count with a small demand never exceeds the exhaustive
+    /// probe count.
+    #[test]
+    fn early_exit_probes_no_more(
+        seed in 0u64..100,
+        s in 0u32..12,
+        t in 0u32..12,
+    ) {
+        prop_assume!(s != t);
+        let g = generators::watts_strogatz(12, 4, 0.4, seed);
+        let mut net_small = Network::uniform(g.clone(), Amount::from_units(9));
+        let small = find_paths(&mut net_small, NodeId(s), NodeId(t), Amount::from_units(1), 30);
+        let mut net_big = Network::uniform(g, Amount::from_units(9));
+        let big = find_paths(&mut net_big, NodeId(s), NodeId(t), Amount::from_units(1_000_000), 30);
+        prop_assert!(small.probes <= big.probes);
+        if !small.paths.is_empty() {
+            prop_assert_eq!(small.paths.len(), 1, "demand 1 needs a single path");
+        }
+    }
+}

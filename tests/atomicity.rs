@@ -1,0 +1,118 @@
+//! Cross-crate atomicity and fault-injection tests: no routing scheme,
+//! under any injected probe faults, may corrupt channel balances or
+//! partially apply a payment.
+
+use flash_offchain::core::{FlashConfig, FlashRouter, SpiderRouter};
+use flash_offchain::graph::generators;
+use flash_offchain::sim::{FaultConfig, Network, Router};
+use flash_offchain::types::{Amount, NodeId, Payment, PaymentClass, TxId};
+use proptest::prelude::*;
+
+fn build_net(seed: u64) -> Network {
+    let g = generators::watts_strogatz(16, 4, 0.3, seed);
+    Network::uniform(g, Amount::from_units(20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under arbitrary probe drop/noise faults, Flash conserves funds
+    /// and every payment is all-or-nothing.
+    #[test]
+    fn flash_atomic_under_probe_faults(
+        drop_prob in 0.0f64..0.9,
+        noise_ppm in 0u64..300_000,
+        seed in 0u64..500,
+        amounts in proptest::collection::vec(1u64..120, 5..25),
+    ) {
+        let mut net = build_net(seed % 7);
+        net.set_faults(FaultConfig {
+            probe_drop_prob: drop_prob,
+            probe_noise_ppm: noise_ppm,
+            seed,
+        });
+        let before = net.total_funds();
+        let mut router = FlashRouter::new(FlashConfig {
+            elephant_threshold: Amount::from_units(30),
+            seed,
+            ..Default::default()
+        });
+        for (i, amt) in amounts.iter().enumerate() {
+            let s = NodeId((i as u32 * 5 + 1) % 16);
+            let t = NodeId((i as u32 * 11 + 7) % 16);
+            if s == t { continue; }
+            let p = Payment::new(TxId(i as u64), s, t, Amount::from_units(*amt));
+            let class = p.classify(Amount::from_units(30));
+            let outcome = router.route(&mut net, &p, class);
+            // Conservation after every payment, success or failure.
+            prop_assert_eq!(net.total_funds(), before);
+            // Metrics consistent with outcomes.
+            if outcome.is_success() {
+                prop_assert_eq!(outcome.volume(), p.amount);
+            }
+        }
+        let m = net.metrics();
+        prop_assert_eq!(
+            m.total().attempted as usize,
+            amounts.iter().enumerate()
+                .filter(|(i, _)| {
+                    let s = (*i as u32 * 5 + 1) % 16;
+                    let t = (*i as u32 * 11 + 7) % 16;
+                    s != t
+                })
+                .count()
+        );
+    }
+
+    /// Spider under faulted probes: stale capacity estimates may fail
+    /// payments, but never corrupt state.
+    #[test]
+    fn spider_atomic_under_probe_noise(
+        noise_ppm in 0u64..500_000,
+        seed in 0u64..500,
+    ) {
+        let mut net = build_net(3);
+        net.set_faults(FaultConfig {
+            probe_drop_prob: 0.0,
+            probe_noise_ppm: noise_ppm,
+            seed,
+        });
+        let before = net.total_funds();
+        let mut router = SpiderRouter::new();
+        for i in 0..20u64 {
+            let s = NodeId((i as u32 * 3 + 2) % 16);
+            let t = NodeId((i as u32 * 7 + 9) % 16);
+            if s == t { continue; }
+            let p = Payment::new(TxId(i), s, t, Amount::from_units(15 + i % 30));
+            router.route(&mut net, &p, PaymentClass::Mice);
+            prop_assert_eq!(net.total_funds(), before);
+        }
+    }
+}
+
+/// Deterministic regression: noisy probes overstating capacity force a
+/// failed send inside the mice loop, which must leave the escrow clean.
+#[test]
+fn overstated_probe_fails_cleanly() {
+    let mut net = build_net(5);
+    net.set_faults(FaultConfig {
+        probe_drop_prob: 0.0,
+        probe_noise_ppm: 900_000, // wildly wrong reports
+        seed: 99,
+    });
+    let before = net.total_funds();
+    let mut router = FlashRouter::new(FlashConfig {
+        elephant_threshold: Amount::MAX,
+        ..Default::default()
+    });
+    for i in 0..30u64 {
+        let p = Payment::new(
+            TxId(i),
+            NodeId((i % 16) as u32),
+            NodeId(((i + 5) % 16) as u32),
+            Amount::from_units(60), // beyond single-path capacity 20
+        );
+        router.route(&mut net, &p, PaymentClass::Mice);
+        assert_eq!(net.total_funds(), before, "payment {i} leaked funds");
+    }
+}

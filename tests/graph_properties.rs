@@ -1,0 +1,107 @@
+//! Property tests over the graph substrate on random topologies —
+//! invariants the routing layers silently rely on.
+
+use flash_offchain::graph::{bfs, disjoint, generators, yen, DiGraph};
+use flash_offchain::types::NodeId;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_ws() -> impl Strategy<Value = DiGraph> {
+    (6usize..20, 0u64..500)
+        .prop_map(|(n, seed)| generators::watts_strogatz(n.max(6), 4, 0.3, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen's paths are simple, sorted by hops, pairwise distinct, and
+    /// the first equals the BFS shortest path length.
+    #[test]
+    fn yen_invariants(g in arb_ws(), k in 1usize..8, s in 0u32..20, t in 0u32..20) {
+        let n = g.node_count() as u32;
+        let (s, t) = (NodeId(s % n), NodeId(t % n));
+        prop_assume!(s != t);
+        let paths = yen::k_shortest_paths_hops(&g, s, t, k);
+        let bfs_path = bfs::shortest_path(&g, s, t);
+        prop_assert_eq!(paths.is_empty(), bfs_path.is_none());
+        if let Some(bp) = bfs_path {
+            prop_assert_eq!(paths[0].hops(), bp.hops());
+        }
+        let mut seen = HashSet::new();
+        for w in paths.windows(2) {
+            prop_assert!(w[0].hops() <= w[1].hops());
+        }
+        for p in &paths {
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.target(), t);
+            let nodes: HashSet<_> = p.nodes().iter().collect();
+            prop_assert_eq!(nodes.len(), p.nodes().len(), "loop in {:?}", p);
+            prop_assert!(seen.insert(p.nodes().to_vec()), "duplicate {:?}", p);
+        }
+    }
+
+    /// Edge-disjoint paths never share a directed edge and their count
+    /// is bounded by the sender's out-degree and receiver's in-degree.
+    #[test]
+    fn disjoint_invariants(g in arb_ws(), s in 0u32..20, t in 0u32..20) {
+        let n = g.node_count() as u32;
+        let (s, t) = (NodeId(s % n), NodeId(t % n));
+        prop_assume!(s != t);
+        let paths = disjoint::edge_disjoint_paths(&g, s, t, 16);
+        let mut used = HashSet::new();
+        for p in &paths {
+            for (u, v) in p.channels() {
+                prop_assert!(used.insert((u, v)), "edge reused");
+            }
+        }
+        prop_assert!(paths.len() <= g.out_degree(s));
+        prop_assert!(paths.len() <= g.in_neighbors(t).len());
+    }
+
+    /// BFS distance is a metric lower bound: every Yen path length ≥
+    /// the BFS distance; BFS distances obey the triangle inequality
+    /// along any found path.
+    #[test]
+    fn bfs_distance_consistency(g in arb_ws(), s in 0u32..20) {
+        let n = g.node_count() as u32;
+        let s = NodeId(s % n);
+        let dist = bfs::distances_from(&g, s);
+        for t in g.nodes() {
+            if t == s { continue; }
+            match bfs::shortest_path(&g, s, t) {
+                Some(p) => prop_assert_eq!(p.hops(), dist[t.index()]),
+                None => prop_assert_eq!(dist[t.index()], usize::MAX),
+            }
+        }
+        // Edge relaxation: d(v) ≤ d(u) + 1 for every edge u→v.
+        for (_, u, v) in g.edges() {
+            if dist[u.index()] != usize::MAX {
+                prop_assert!(dist[v.index()] <= dist[u.index()] + 1);
+            }
+        }
+    }
+
+    /// Generated small-world graphs are almost entirely one component
+    /// (β-rewiring can, rarely, isolate a node — that matches the
+    /// standard Watts–Strogatz construction) and fully bidirectional.
+    #[test]
+    fn ws_generator_invariants(n in 6usize..40, seed in 0u64..300) {
+        let g = generators::watts_strogatz(n, 4, 0.3, seed);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.largest_weak_component().len() >= n - 2,
+            "component {} of {n}", g.largest_weak_component().len());
+        for (e, _, _) in g.edges() {
+            prop_assert!(g.reverse_edge(e).is_some());
+        }
+    }
+
+    /// Scale-free generator hits its channel target exactly and keeps
+    /// a giant component.
+    #[test]
+    fn scale_free_invariants(n in 20usize..80, mult in 2usize..5, seed in 0u64..200) {
+        let target = n * mult;
+        let g = generators::scale_free_with_channels(n, target, seed);
+        prop_assert_eq!(g.edge_count(), target * 2);
+        prop_assert!(g.largest_weak_component().len() >= n * 9 / 10);
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests of the rebalancing extension against full routing
+//! workloads.
+
+use flash_offchain::core::rebalance::{
+    depleted_edges, rebalance_sweep, RebalanceConfig, RebalanceReport,
+};
+use flash_offchain::core::{FlashConfig, FlashRouter};
+use flash_offchain::graph::generators;
+use flash_offchain::sim::{Network, Router};
+use flash_offchain::types::{Amount, NodeId, Payment, TxId};
+
+fn skewed_load(net: &mut Network, router: &mut FlashRouter, ids: std::ops::Range<u64>) -> u64 {
+    let mut failures = 0;
+    let n = net.graph().node_count() as u32;
+    for i in ids {
+        let p = Payment::new(
+            TxId(i),
+            NodeId((i % (n as u64 - 3)) as u32 + 3),
+            NodeId((i % 3) as u32),
+            Amount::from_units(20 + i % 40),
+        );
+        if p.sender == p.receiver {
+            continue;
+        }
+        let class = p.classify(Amount::from_units(80));
+        if !router.route(net, &p, class).is_success() {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+#[test]
+fn sweep_conserves_funds_on_loaded_network() {
+    let graph = generators::watts_strogatz(30, 4, 0.2, 3);
+    let mut net = Network::uniform(graph, Amount::from_units(100));
+    let mut router = FlashRouter::new(FlashConfig {
+        elephant_threshold: Amount::from_units(80),
+        ..Default::default()
+    });
+    skewed_load(&mut net, &mut router, 0..300);
+    let before = net.total_funds();
+    let report = rebalance_sweep(&mut net, &RebalanceConfig::default());
+    assert_eq!(net.total_funds(), before, "sweep must conserve total funds");
+    assert!(report.scanned > 0);
+}
+
+#[test]
+fn sweep_reduces_depletion() {
+    let graph = generators::watts_strogatz(30, 4, 0.2, 5);
+    let mut net = Network::uniform(graph, Amount::from_units(100));
+    let mut router = FlashRouter::new(FlashConfig {
+        elephant_threshold: Amount::from_units(80),
+        ..Default::default()
+    });
+    skewed_load(&mut net, &mut router, 0..400);
+    let depleted_before = depleted_edges(&net, 10).len();
+    if depleted_before == 0 {
+        // Workload did not deplete anything at this seed; nothing to
+        // assert beyond the no-op.
+        let report = rebalance_sweep(&mut net, &RebalanceConfig::default());
+        assert_eq!(report.depleted, 0);
+        return;
+    }
+    rebalance_sweep(&mut net, &RebalanceConfig::default());
+    let depleted_after = depleted_edges(&net, 10).len();
+    assert!(
+        depleted_after < depleted_before,
+        "sweep should reduce depletion: {depleted_before} → {depleted_after}"
+    );
+}
+
+#[test]
+fn sweep_is_idempotent_when_healthy() {
+    let graph = generators::watts_strogatz(20, 4, 0.2, 7);
+    let mut net = Network::uniform(graph, Amount::from_units(100));
+    // Fresh uniform network: nothing is depleted.
+    let report = rebalance_sweep(&mut net, &RebalanceConfig::default());
+    assert_eq!(
+        report,
+        RebalanceReport {
+            scanned: net.graph().edge_count() as u64,
+            depleted: 0,
+            attempted_cycles: 0,
+            rebalanced: 0,
+            volume_shifted: Amount::ZERO,
+        }
+    );
+}
+
+#[test]
+fn metrics_are_untouched_by_maintenance() {
+    let graph = generators::watts_strogatz(30, 4, 0.2, 9);
+    let mut net = Network::uniform(graph, Amount::from_units(100));
+    let mut router = FlashRouter::new(FlashConfig {
+        elephant_threshold: Amount::from_units(80),
+        ..Default::default()
+    });
+    skewed_load(&mut net, &mut router, 0..200);
+    let before = net.metrics().clone();
+    rebalance_sweep(&mut net, &RebalanceConfig::default());
+    let after = net.metrics();
+    assert_eq!(after.total().attempted, before.total().attempted);
+    assert_eq!(after.total().succeeded, before.total().succeeded);
+    assert_eq!(after.fees_paid, before.fees_paid);
+}

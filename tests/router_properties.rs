@@ -1,0 +1,120 @@
+//! Cross-scheme property tests: every router, on arbitrary topologies
+//! and workloads, must (a) conserve funds, (b) be all-or-nothing per
+//! payment, (c) never read balances except through metered probes
+//! (checked indirectly: static schemes must report zero probes), and
+//! (d) deliver exactly the demanded amount on success.
+
+use flash_offchain::core::{
+    FlashConfig, FlashRouter, ShortestPathRouter, SilentWhispersRouter, SpeedyMurmursRouter,
+    SpiderRouter,
+};
+use flash_offchain::graph::generators;
+use flash_offchain::sim::{Network, RouteOutcome, Router};
+use flash_offchain::types::{Amount, NodeId, Payment, PaymentClass, TxId};
+use proptest::prelude::*;
+
+fn all_routers(seed: u64) -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(FlashRouter::new(FlashConfig {
+            elephant_threshold: Amount::from_units(25),
+            seed,
+            ..Default::default()
+        })),
+        Box::new(SpiderRouter::new()),
+        Box::new(SpeedyMurmursRouter::new()),
+        Box::new(SilentWhispersRouter::new()),
+        Box::new(ShortestPathRouter::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_router_conserves_and_is_atomic(
+        seed in 0u64..300,
+        amounts in proptest::collection::vec(1u64..80, 4..16),
+    ) {
+        let g = generators::watts_strogatz(14, 4, 0.3, seed);
+        for mut router in all_routers(seed) {
+            let mut net = Network::uniform(g.clone(), Amount::from_units(30));
+            let before = net.total_funds();
+            for (i, amt) in amounts.iter().enumerate() {
+                let s = NodeId((i as u32 * 3 + 1) % 14);
+                let t = NodeId((i as u32 * 5 + 8) % 14);
+                if s == t { continue; }
+                let p = Payment::new(TxId(i as u64), s, t, Amount::from_units(*amt));
+                let class = p.classify(Amount::from_units(25));
+                let out = router.route(&mut net, &p, class);
+                prop_assert_eq!(
+                    net.total_funds(), before,
+                    "{} violated conservation on payment {}", router.name(), i
+                );
+                if let RouteOutcome::Success { volume, .. } = out {
+                    prop_assert_eq!(volume, p.amount, "{} partial delivery", router.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_schemes_never_probe(seed in 0u64..200) {
+        let g = generators::watts_strogatz(12, 4, 0.3, seed);
+        for mut router in [
+            Box::new(SpeedyMurmursRouter::new()) as Box<dyn Router>,
+            Box::new(SilentWhispersRouter::new()),
+            Box::new(ShortestPathRouter::new()),
+        ] {
+            let mut net = Network::uniform(g.clone(), Amount::from_units(30));
+            for i in 0..10u64 {
+                let p = Payment::new(
+                    TxId(i),
+                    NodeId((i % 12) as u32),
+                    NodeId(((i * 5 + 3) % 12) as u32),
+                    Amount::from_units(1 + i),
+                );
+                if p.sender == p.receiver { continue; }
+                router.route(&mut net, &p, PaymentClass::Mice);
+            }
+            prop_assert_eq!(
+                net.metrics().probe_messages, 0,
+                "{} is a static scheme and must not probe", router.name()
+            );
+        }
+    }
+
+    /// Metrics bookkeeping: attempts = successes + failures, and the
+    /// success volume equals the sum of delivered amounts.
+    #[test]
+    fn metrics_are_consistent(
+        seed in 0u64..200,
+        amounts in proptest::collection::vec(1u64..60, 4..12),
+    ) {
+        let g = generators::watts_strogatz(12, 4, 0.3, seed);
+        let mut net = Network::uniform(g, Amount::from_units(25));
+        let mut router = FlashRouter::new(FlashConfig {
+            elephant_threshold: Amount::from_units(20),
+            seed,
+            ..Default::default()
+        });
+        let mut successes = 0u64;
+        let mut volume = Amount::ZERO;
+        let mut attempts = 0u64;
+        for (i, amt) in amounts.iter().enumerate() {
+            let s = NodeId((i as u32 * 7 + 2) % 12);
+            let t = NodeId((i as u32 * 11 + 5) % 12);
+            if s == t { continue; }
+            attempts += 1;
+            let p = Payment::new(TxId(i as u64), s, t, Amount::from_units(*amt));
+            let class = p.classify(Amount::from_units(20));
+            if router.route(&mut net, &p, class).is_success() {
+                successes += 1;
+                volume = volume.saturating_add(p.amount);
+            }
+        }
+        let m = net.metrics();
+        prop_assert_eq!(m.total().attempted, attempts);
+        prop_assert_eq!(m.total().succeeded, successes);
+        prop_assert_eq!(m.success_volume(), volume);
+    }
+}

@@ -1,0 +1,31 @@
+//! Adversarial-input tests for the prototype wire codec: arbitrary
+//! bytes must never panic, and every decoded message re-encodes to the
+//! same bytes (canonical form).
+
+use bytes::Bytes;
+use flash_offchain::proto::Message;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Garbage in → clean error or valid message, never a panic.
+    #[test]
+    fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(Bytes::from(raw));
+    }
+
+    /// Decode ∘ encode is the identity on whatever decodes successfully.
+    #[test]
+    fn decode_encode_canonical(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(msg) = Message::decode(Bytes::from(raw.clone())) {
+            let reencoded = msg.encode();
+            // Strip the length prefix; the payload must match the input
+            // exactly (the codec has no redundant encodings).
+            prop_assert_eq!(&reencoded[4..], &raw[..]);
+            // And a second decode yields the same message.
+            let again = Message::decode(reencoded.slice(4..)).unwrap();
+            prop_assert_eq!(again, msg);
+        }
+    }
+}
