@@ -78,7 +78,9 @@ fn ablation_probe_policy(c: &mut Criterion) {
             || bench_network(300, 5),
             |mut net| {
                 let p = bench_payment(&net, 3000, 7);
-                black_box(elephant::find_paths(&mut net, p.sender, p.receiver, p.amount, 20))
+                black_box(elephant::find_paths(
+                    &mut net, p.sender, p.receiver, p.amount, 20,
+                ))
             },
             criterion::BatchSize::LargeInput,
         )
@@ -88,8 +90,7 @@ fn ablation_probe_policy(c: &mut Criterion) {
             || {
                 let net = bench_network(300, 5);
                 let graph = net.graph().clone();
-                let caps: Vec<Amount> =
-                    graph.edges().map(|(e, _, _)| net.balance(e)).collect();
+                let caps: Vec<Amount> = graph.edges().map(|(e, _, _)| net.balance(e)).collect();
                 let fees: Vec<pcn_types::FeePolicy> =
                     graph.edges().map(|(e, _, _)| net.fee_policy(e)).collect();
                 (net, SnapshotProber { caps, fees, graph })
@@ -98,7 +99,12 @@ fn ablation_probe_policy(c: &mut Criterion) {
                 let p = bench_payment(&net, 3000, 7);
                 let g = net.graph().clone();
                 black_box(elephant::find_paths_with(
-                    &g, &mut prober, p.sender, p.receiver, p.amount, 20,
+                    &g,
+                    &mut prober,
+                    p.sender,
+                    p.receiver,
+                    p.amount,
+                    20,
                 ))
             },
             criterion::BatchSize::LargeInput,
@@ -118,7 +124,9 @@ fn ablation_pathfind(c: &mut Criterion) {
         b.iter_batched(
             || net.clone(),
             |mut n| {
-                black_box(elephant::find_paths(&mut n, p.sender, p.receiver, p.amount, 20))
+                black_box(elephant::find_paths(
+                    &mut n, p.sender, p.receiver, p.amount, 20,
+                ))
             },
             criterion::BatchSize::LargeInput,
         )

@@ -129,7 +129,11 @@ fn testbed_cell(nodes: usize, scheme: SchemeKind) -> f64 {
 fn fig12_testbed50(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_cell_20n");
     group.sample_size(10);
-    for scheme in [SchemeKind::Flash, SchemeKind::Spider, SchemeKind::ShortestPath] {
+    for scheme in [
+        SchemeKind::Flash,
+        SchemeKind::Spider,
+        SchemeKind::ShortestPath,
+    ] {
         group.bench_function(scheme.name(), |b| {
             b.iter(|| black_box(testbed_cell(20, scheme)))
         });

@@ -38,11 +38,7 @@ fn algorithm1(c: &mut Criterion) {
             |mut net| {
                 let p = bench_payment(&net, 5000, 3);
                 black_box(elephant::find_paths(
-                    &mut net,
-                    p.sender,
-                    p.receiver,
-                    p.amount,
-                    20,
+                    &mut net, p.sender, p.receiver, p.amount, 20,
                 ))
             },
             criterion::BatchSize::LargeInput,
@@ -55,9 +51,8 @@ fn lp_solver(c: &mut Criterion) {
     // ~60 channel constraints.
     c.bench_function("simplex_20v_60c", |b| {
         b.iter(|| {
-            let mut lp = LinearProgram::minimize(
-                (0..20).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect(),
-            );
+            let mut lp =
+                LinearProgram::minimize((0..20).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect());
             lp.constrain(vec![1.0; 20], Cmp::Eq, 50.0);
             for j in 0..60usize {
                 let row: Vec<f64> = (0..20)

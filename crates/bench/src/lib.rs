@@ -12,6 +12,9 @@
 //!   max-flow vs. edge-disjoint vs. Yen path finding, LP vs. sequential
 //!   fee splits).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use pcn_graph::generators;
 use pcn_sim::Network;
 use pcn_types::{Amount, NodeId, Payment, TxId};

@@ -91,4 +91,68 @@ mod tests {
     fn rejects_out_of_range() {
         threshold_for_mice_fraction(&[], 1.5);
     }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_nan() {
+        threshold_for_mice_fraction(&[], f64::NAN);
+    }
+
+    #[test]
+    fn empty_trace_at_every_fraction() {
+        // With no observed payments there is nothing to split: zero stays
+        // the all-elephant endpoint, anything else defaults to all-mice.
+        assert_eq!(threshold_for_mice_fraction(&[], 0.0), Amount::ZERO);
+        assert_eq!(threshold_for_mice_fraction(&[], 1e-9), Amount::MAX);
+        assert_eq!(threshold_for_mice_fraction(&[], 1.0), Amount::MAX);
+    }
+
+    #[test]
+    fn all_equal_amounts_pin_the_threshold() {
+        // Any interior fraction must return the common value: every
+        // payment is then a mouse (≤ threshold), never an elephant.
+        let amounts = units(&[7, 7, 7, 7, 7, 7]);
+        for frac in [0.1, 0.5, 0.9] {
+            let t = threshold_for_mice_fraction(&amounts, frac);
+            assert_eq!(t, Amount::from_units(7), "fraction {frac}");
+            assert!(amounts.iter().all(|a| *a <= t));
+        }
+        assert_eq!(threshold_for_mice_fraction(&amounts, 0.0), Amount::ZERO);
+        assert_eq!(threshold_for_mice_fraction(&amounts, 1.0), Amount::MAX);
+    }
+
+    #[test]
+    fn tiny_fraction_clamps_to_smallest_element() {
+        // ceil(frac·n) would be rank 0; the clamp keeps at least one mouse
+        // candidate so the threshold is the smallest observed amount.
+        let amounts = units(&[4, 8, 15, 16, 23, 42]);
+        let t = threshold_for_mice_fraction(&amounts, 1e-12);
+        assert_eq!(t, Amount::from_units(4));
+    }
+
+    #[test]
+    fn single_payment_trace() {
+        let amounts = units(&[13]);
+        assert_eq!(
+            threshold_for_mice_fraction(&amounts, 0.5),
+            Amount::from_units(13)
+        );
+        assert_eq!(threshold_for_mice_fraction(&amounts, 0.0), Amount::ZERO);
+        assert_eq!(threshold_for_mice_fraction(&amounts, 1.0), Amount::MAX);
+    }
+
+    #[test]
+    fn threshold_is_monotone_in_fraction() {
+        let amounts = units(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3]);
+        let mut last = Amount::ZERO;
+        for i in 0..=10 {
+            let t = threshold_for_mice_fraction(&amounts, f64::from(i) / 10.0);
+            assert!(
+                t >= last,
+                "threshold decreased at fraction {}",
+                i as f64 / 10.0
+            );
+            last = t;
+        }
+    }
 }

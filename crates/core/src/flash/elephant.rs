@@ -114,9 +114,8 @@ pub fn find_paths_with(
 
     while plan.paths.len() < k {
         // BFS on G with residual filter (line 7).
-        let path = bfs::shortest_path_filtered(graph, s, t, |e| {
-            residual.get(&e).map_or(true, |r| *r > 0)
-        });
+        let path =
+            bfs::shortest_path_filtered(graph, s, t, |e| residual.get(&e).is_none_or(|r| *r > 0));
         let Some(path) = path else {
             break; // line 9: no more augmenting paths
         };
@@ -142,8 +141,7 @@ pub fn find_paths_with(
                 info.capacity
             });
             plan.fees.entry(e).or_insert(info.fee);
-            if let (Some(rev), Some(rcap)) = (graph.reverse_edge(e), info.reverse_capacity)
-            {
+            if let (Some(rev), Some(rcap)) = (graph.reverse_edge(e), info.reverse_capacity) {
                 plan.capacities.entry(rev).or_insert_with(|| {
                     residual.insert(rev, rcap.micros() as u128);
                     rcap
@@ -337,13 +335,9 @@ mod tests {
         // Execute sequentially along discovered paths using residual
         // capacities — end-to-end integration with the session API.
         let payment = Payment::new(TxId(1), n(0), n(5), Amount::from_units(50));
-        let parts = crate::flash::fees::split_payment(
-            net.graph(),
-            &plan,
-            Amount::from_units(50),
-            false,
-        )
-        .expect("sequential split must succeed when max_flow ≥ demand");
+        let parts =
+            crate::flash::fees::split_payment(net.graph(), &plan, Amount::from_units(50), false)
+                .expect("sequential split must succeed when max_flow ≥ demand");
         let mut session = net.begin_payment(&payment, PaymentClass::Elephant);
         for (p, a) in &parts {
             if !a.is_zero() {

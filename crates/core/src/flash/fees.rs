@@ -51,7 +51,10 @@ pub fn split_payment(
     } else {
         sequential_allocate(graph, plan, demand)?
     };
-    debug_assert_eq!(alloc.iter().map(|a| *a as u128).sum::<u128>(), demand.micros() as u128);
+    debug_assert_eq!(
+        alloc.iter().map(|a| *a as u128).sum::<u128>(),
+        demand.micros() as u128
+    );
     materialize(graph, plan, &alloc, demand)
 }
 
@@ -296,7 +299,12 @@ mod tests {
         let mut g = DiGraph::new(4);
         let mut caps = HashMap::new();
         let mut fees = HashMap::new();
-        for (u, v, ppm) in [(0, 1, 1_000u64), (1, 3, 1_000), (0, 2, 50_000), (2, 3, 50_000)] {
+        for (u, v, ppm) in [
+            (0, 1, 1_000u64),
+            (1, 3, 1_000),
+            (0, 2, 50_000),
+            (2, 3, 50_000),
+        ] {
             let e = g.add_edge(n(u), n(v)).unwrap();
             caps.insert(e, Amount::from_units(10));
             fees.insert(e, FeePolicy::proportional(ppm));
@@ -376,7 +384,10 @@ mod tests {
     #[test]
     fn zero_demand_is_empty() {
         let (g, plan) = diamond_plan();
-        assert_eq!(split_payment(&g, &plan, Amount::ZERO, true).unwrap().len(), 0);
+        assert_eq!(
+            split_payment(&g, &plan, Amount::ZERO, true).unwrap().len(),
+            0
+        );
     }
 
     #[test]

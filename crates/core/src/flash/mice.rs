@@ -58,13 +58,7 @@ impl RoutingTable {
     /// Returns the cached paths for `(s, t)`, computing the top-m Yen
     /// shortest paths on a miss ("path finding is simplified into table
     /// lookups in most cases"). `now` stamps the entry for TTL purposes.
-    pub fn lookup_or_compute(
-        &mut self,
-        g: &DiGraph,
-        s: NodeId,
-        t: NodeId,
-        now: u64,
-    ) -> Vec<Path> {
+    pub fn lookup_or_compute(&mut self, g: &DiGraph, s: NodeId, t: NodeId, now: u64) -> Vec<Path> {
         let m = self.m;
         let entry = self.entries.entry((s, t)).or_insert_with(|| TableEntry {
             paths: yen::k_shortest_paths_hops(g, s, t, m),

@@ -153,9 +153,9 @@ impl FlashRouter {
     fn route_mice(&mut self, net: &mut Network, payment: &Payment) -> RouteOutcome {
         self.clock += 1;
         self.table.evict_stale(self.clock);
-        let paths = self
-            .table
-            .lookup_or_compute(net.graph(), payment.sender, payment.receiver, self.clock);
+        let paths =
+            self.table
+                .lookup_or_compute(net.graph(), payment.sender, payment.receiver, self.clock);
         if paths.is_empty() {
             let session = net.begin_payment(payment, PaymentClass::Mice);
             session.abort();
@@ -224,12 +224,7 @@ impl Router for FlashRouter {
         "Flash"
     }
 
-    fn route(
-        &mut self,
-        net: &mut Network,
-        payment: &Payment,
-        class: PaymentClass,
-    ) -> RouteOutcome {
+    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         match class {
             PaymentClass::Elephant => self.route_elephant(net, payment, class),
             // The m = 0 configuration routes mice with the elephant

@@ -79,7 +79,9 @@ pub fn rebalance_sweep(net: &mut Network, config: &RebalanceConfig) -> Rebalance
     report.scanned = graph.edge_count() as u64;
     report.depleted = depleted.len() as u64;
     for (e, u, v) in depleted {
-        let rev = graph.reverse_edge(e).expect("depleted edges are bidirectional");
+        let rev = graph
+            .reverse_edge(e)
+            .expect("depleted edges are bidirectional");
         let fwd_bal = net.balance(e);
         let rev_bal = net.balance(rev);
         let total = fwd_bal.saturating_add(rev_bal);
@@ -95,9 +97,8 @@ pub fn rebalance_sweep(net: &mut Network, config: &RebalanceConfig) -> Rebalance
         // funds from u's other channels. Net effect: balance(v→u) −= x,
         // balance(u→v) += x — exactly the Revive rebalancing move,
         // fully offchain.
-        let detour = bfs::shortest_path_filtered(&graph, u, v, |cand: EdgeId| {
-            cand != e && cand != rev
-        });
+        let detour =
+            bfs::shortest_path_filtered(&graph, u, v, |cand: EdgeId| cand != e && cand != rev);
         let Some(detour) = detour else { continue };
         if detour.hops() + 1 > config.max_cycle_hops {
             continue;
@@ -219,7 +220,10 @@ mod tests {
         let mut net = skewed_triangle();
         let before = net.total_funds();
         let report = rebalance_sweep(&mut net, &RebalanceConfig::default());
-        assert_eq!(report.depleted, 1, "snapshot sees exactly one depleted edge");
+        assert_eq!(
+            report.depleted, 1,
+            "snapshot sees exactly one depleted edge"
+        );
         assert_eq!(report.rebalanced, 1);
         assert!(report.volume_shifted > Amount::ZERO);
         assert_eq!(net.total_funds(), before, "rebalancing must conserve funds");

@@ -25,14 +25,8 @@ impl Router for ShortestPathRouter {
         "Shortest Path"
     }
 
-    fn route(
-        &mut self,
-        net: &mut Network,
-        payment: &Payment,
-        class: PaymentClass,
-    ) -> RouteOutcome {
-        let Some(path) = bfs::shortest_path(net.graph(), payment.sender, payment.receiver)
-        else {
+    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        let Some(path) = bfs::shortest_path(net.graph(), payment.sender, payment.receiver) else {
             // Record the attempt for fair success-ratio accounting.
             let session = net.begin_payment(payment, class);
             session.abort();

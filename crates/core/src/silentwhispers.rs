@@ -100,7 +100,8 @@ impl SilentWhispersRouter {
                 return None;
             }
         }
-        down.reverse(); // l ... t
+        // `down` now reads l ... t.
+        down.reverse();
         // Concatenate, dropping the duplicated landmark; trim any
         // overlap to keep the path simple (e.g. s on t's landmark path).
         let mut nodes = up;
@@ -130,12 +131,7 @@ impl Router for SilentWhispersRouter {
         "SilentWhispers"
     }
 
-    fn route(
-        &mut self,
-        net: &mut Network,
-        payment: &Payment,
-        class: PaymentClass,
-    ) -> RouteOutcome {
+    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         self.ensure_trees(net.graph());
         let routes: Vec<Path> = (0..self.landmarks.len())
             .filter_map(|i| self.landmark_route(i, payment.sender, payment.receiver))
@@ -158,7 +154,10 @@ impl Router for SilentWhispersRouter {
             if share == 0 {
                 continue;
             }
-            if session.try_send_part(p, Amount::from_micros(share)).is_err() {
+            if session
+                .try_send_part(p, Amount::from_micros(share))
+                .is_err()
+            {
                 session.abort();
                 return RouteOutcome::failure(FailureReason::InsufficientCapacity);
             }

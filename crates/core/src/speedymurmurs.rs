@@ -113,13 +113,7 @@ impl SpeedyMurmursRouter {
 
     /// Greedy embedded route in one tree: strictly decrease the tree
     /// distance to `t` at every hop (shortcut channels allowed).
-    fn greedy_route(
-        &self,
-        g: &DiGraph,
-        emb: &TreeEmbedding,
-        s: NodeId,
-        t: NodeId,
-    ) -> Option<Path> {
+    fn greedy_route(&self, g: &DiGraph, emb: &TreeEmbedding, s: NodeId, t: NodeId) -> Option<Path> {
         let mut nodes = vec![s];
         let mut cur = s;
         let mut cur_dist = emb.distance(cur, t)?;
@@ -130,8 +124,7 @@ impl SpeedyMurmursRouter {
                     continue;
                 }
                 if let Some(d) = emb.distance(v, t) {
-                    if d < cur_dist && best.map_or(true, |(bd, bn)| d < bd || (d == bd && v < bn))
-                    {
+                    if d < cur_dist && best.is_none_or(|(bd, bn)| d < bd || (d == bd && v < bn)) {
                         best = Some((d, v));
                     }
                 }
@@ -150,12 +143,7 @@ impl Router for SpeedyMurmursRouter {
         "SpeedyMurmurs"
     }
 
-    fn route(
-        &mut self,
-        net: &mut Network,
-        payment: &Payment,
-        class: PaymentClass,
-    ) -> RouteOutcome {
+    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         self.ensure_embeddings(net.graph());
         let g = net.graph().clone();
         let routes: Vec<Path> = self

@@ -56,7 +56,10 @@ pub fn waterfill(capacities: &[Amount], demand: Amount) -> Option<Vec<Amount>> {
     // Sort indices by capacity descending.
     let mut idx: Vec<usize> = (0..capacities.len()).collect();
     idx.sort_by_key(|&i| std::cmp::Reverse(capacities[i].micros()));
-    let caps: Vec<u128> = idx.iter().map(|&i| capacities[i].micros() as u128).collect();
+    let caps: Vec<u128> = idx
+        .iter()
+        .map(|&i| capacities[i].micros() as u128)
+        .collect();
 
     // Find the number of active paths j and water level L such that
     // Σ_{i<j} (c_i − L) = d with c_{j} ≤ L ≤ c_{j−1} (descending order).
@@ -89,10 +92,7 @@ pub fn waterfill(capacities: &[Amount], demand: Amount) -> Option<Vec<Amount>> {
         let x = c.saturating_sub(target);
         alloc[orig] = Amount::from_micros(u64::try_from(x).unwrap_or(u64::MAX));
     }
-    debug_assert_eq!(
-        alloc.iter().map(|a| a.micros() as u128).sum::<u128>(),
-        d
-    );
+    debug_assert_eq!(alloc.iter().map(|a| a.micros() as u128).sum::<u128>(), d);
     Some(alloc)
 }
 
@@ -101,12 +101,7 @@ impl Router for SpiderRouter {
         "Spider"
     }
 
-    fn route(
-        &mut self,
-        net: &mut Network,
-        payment: &Payment,
-        class: PaymentClass,
-    ) -> RouteOutcome {
+    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         let paths: Vec<Path> = disjoint::edge_disjoint_paths(
             net.graph(),
             payment.sender,

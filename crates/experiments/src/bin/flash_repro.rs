@@ -41,10 +41,12 @@ fn main() {
         i += 1;
     }
     if figs.is_empty() {
-        figs = ["fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        figs = [
+            "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 

@@ -71,10 +71,7 @@ mod tests {
         let m4 = probes.y_at(4.0).unwrap();
         // "using a few routes achieves at least ∼12x less probing
         // overhead" — direction with slack at quick scale.
-        assert!(
-            m4 < m0,
-            "m=4 probes ({m4}) should be far below m=0 ({m0})"
-        );
+        assert!(m4 < m0, "m=4 probes ({m4}) should be far below m=0 ({m0})");
     }
 
     #[test]

@@ -13,7 +13,11 @@ pub fn run(effort: Effort) -> Vec<FigureResult> {
     };
     let mut out = Vec::new();
     for (id, title, model) in [
-        ("fig3a", "Payment size CDF, Ripple (USD)", SizeModel::RippleUsd),
+        (
+            "fig3a",
+            "Payment size CDF, Ripple (USD)",
+            SizeModel::RippleUsd,
+        ),
         (
             "fig3b",
             "Payment size CDF, Bitcoin (satoshi)",
@@ -63,9 +67,7 @@ mod tests {
         let (v, _) = s
             .points
             .iter()
-            .min_by(|a, b| {
-                (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
             .unwrap();
         assert!((1.0..30.0).contains(v), "median point {v} should be ≈ 4.8");
     }

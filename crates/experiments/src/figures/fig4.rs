@@ -62,9 +62,7 @@ mod tests {
         let (median, _) = s
             .points
             .iter()
-            .min_by(|a, b| {
-                (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
             .unwrap();
         assert!(
             (0.7..=0.95).contains(median),
@@ -79,9 +77,7 @@ mod tests {
         let (median, _) = s
             .points
             .iter()
-            .min_by(|a, b| {
-                (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
             .unwrap();
         assert!(
             *median >= 0.6,

@@ -12,7 +12,11 @@ use pcn_workload::trace::{generate_trace, TraceConfig};
 pub const CAPACITY_INTERVALS: [(u64, u64); 3] = [(1000, 1500), (1500, 2000), (2000, 2500)];
 
 /// The schemes the testbed compares.
-pub const SCHEMES: [SchemeKind; 3] = [SchemeKind::Flash, SchemeKind::Spider, SchemeKind::ShortestPath];
+pub const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::Flash,
+    SchemeKind::Spider,
+    SchemeKind::ShortestPath,
+];
 
 /// Runs the full §5 testbed experiment for a node count, producing the
 /// four panels (success volume, success ratio, normalized overall
@@ -72,8 +76,7 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
         for scheme in order {
             let topo = testbed_topology(nodes, lo, hi, seed);
             let graph = topo.graph().clone();
-            let balances: Vec<Amount> =
-                graph.edges().map(|(e, _, _)| topo.balance(e)).collect();
+            let balances: Vec<Amount> = graph.edges().map(|(e, _, _)| topo.balance(e)).collect();
             let cluster = Cluster::launch(graph, &balances).expect("cluster launches");
             let mut runner = TestbedRunner::new(cluster, scheme, threshold, seed + 13);
             let report = runner.run_trace(&trace);

@@ -273,7 +273,13 @@ mod tests {
         let net = Topo::Ripple.build_network(Effort::Quick, 5);
         let trace = Topo::Ripple.build_trace(&net, 200, 6);
         let flash = run_scheme(&net, SimScheme::Flash, &trace, DEFAULT_MICE_FRACTION, 7);
-        let sp = run_scheme(&net, SimScheme::ShortestPath, &trace, DEFAULT_MICE_FRACTION, 7);
+        let sp = run_scheme(
+            &net,
+            SimScheme::ShortestPath,
+            &trace,
+            DEFAULT_MICE_FRACTION,
+            7,
+        );
         assert!(
             flash.success_volume() >= sp.success_volume(),
             "Flash {} < SP {}",

@@ -9,9 +9,7 @@ use std::fmt;
 ///
 /// Edge ids index flat attribute vectors (balances, fees, probe state)
 /// owned by higher layers, keeping the graph itself attribute-free.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct EdgeId(pub u32);
 
@@ -355,6 +353,9 @@ mod tests {
         g2.rebuild_index();
         assert_eq!(g2.edge_count(), 3);
         assert_eq!(g2.edge(n(0), n(1)), g.edge(n(0), n(1)));
-        assert_eq!(g2.reverse_edge(g2.edge(n(0), n(1)).unwrap()), g.edge(n(1), n(0)));
+        assert_eq!(
+            g2.reverse_edge(g2.edge(n(0), n(1)).unwrap()),
+            g.edge(n(1), n(0))
+        );
     }
 }

@@ -115,10 +115,8 @@ mod tests {
     fn none_weight_excludes_edge() {
         let (g, w) = diamond();
         let direct = g.edge(n(0), n(3)).unwrap();
-        let r = shortest_path_weighted(&g, n(0), n(3), |e| {
-            (e != direct).then(|| w[e.index()])
-        })
-        .unwrap();
+        let r = shortest_path_weighted(&g, n(0), n(3), |e| (e != direct).then(|| w[e.index()]))
+            .unwrap();
         assert_eq!(r.path.hops(), 3);
     }
 

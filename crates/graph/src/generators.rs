@@ -30,7 +30,7 @@ use std::collections::HashSet;
 /// if `k` is odd, `k >= n`, or `n < 3`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DiGraph {
     assert!(n >= 3, "watts_strogatz needs at least 3 nodes");
-    assert!(k % 2 == 0, "watts_strogatz k must be even");
+    assert!(k.is_multiple_of(2), "watts_strogatz k must be even");
     assert!(k < n, "watts_strogatz k must be < n");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut channels: HashSet<(usize, usize)> = HashSet::new();

@@ -31,7 +31,11 @@ pub struct MaxFlow {
 /// two directions of a channel cancel, exactly as partial payments on
 /// different directions of the same channel offset each other).
 pub fn edmonds_karp(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64]) -> MaxFlow {
-    assert_eq!(capacity.len(), g.edge_count(), "capacity table size mismatch");
+    assert_eq!(
+        capacity.len(),
+        g.edge_count(),
+        "capacity table size mismatch"
+    );
     let mut flow = vec![0u64; g.edge_count()];
     let mut value = 0u64;
     if s == t || s.index() >= g.node_count() || t.index() >= g.node_count() {
@@ -338,7 +342,10 @@ mod tests {
 
     /// Random small digraphs for the max-flow = min-cut property.
     fn arb_graph() -> impl Strategy<Value = (DiGraph, Vec<u64>)> {
-        (2usize..8, proptest::collection::vec((0u32..8, 0u32..8, 1u64..50), 1..30))
+        (
+            2usize..8,
+            proptest::collection::vec((0u32..8, 0u32..8, 1u64..50), 1..30),
+        )
             .prop_map(|(nn, edges)| {
                 let nn = nn.max(2);
                 let mut g = DiGraph::new(nn);

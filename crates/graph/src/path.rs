@@ -29,9 +29,7 @@ impl Path {
         let mut seen = std::collections::HashSet::with_capacity(nodes.len());
         for &n in &nodes {
             if !seen.insert(n) {
-                return Err(PcnError::InvalidConfig(format!(
-                    "path revisits node {n}"
-                )));
+                return Err(PcnError::InvalidConfig(format!("path revisits node {n}")));
             }
         }
         if let Some(g) = graph {

@@ -55,8 +55,7 @@ pub fn k_shortest_paths(
             }
             // Nodes on the root (except the spur itself) are banned to
             // keep paths loopless.
-            let banned_nodes: HashSet<NodeId> =
-                root[..root.len() - 1].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root[..root.len() - 1].iter().copied().collect();
 
             let spur_path = shortest_path_weighted(g, spur, t, |e| {
                 if banned_edges.contains(&e) {
@@ -139,8 +138,7 @@ pub fn k_shortest_paths_hops(g: &DiGraph, s: NodeId, t: NodeId, k: usize) -> Vec
                     }
                 }
             }
-            let banned_nodes: HashSet<NodeId> =
-                root[..root.len() - 1].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root[..root.len() - 1].iter().copied().collect();
             let spur_path = crate::bfs::shortest_path_filtered(g, spur, t, |e| {
                 if banned_edges.contains(&e) {
                     return false;

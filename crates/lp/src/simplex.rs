@@ -274,8 +274,7 @@ fn run_simplex_restricted(
             if t[i][j] > EPS {
                 let ratio = t[i][total] / t[i][j];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -295,11 +294,13 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total:
     for v in t[row].iter_mut() {
         *v /= p;
     }
-    for i in 0..t.len() {
-        if i != row && t[i][col].abs() > EPS {
-            let f = t[i][col];
-            for j in 0..=total {
-                t[i][j] -= f * t[row][j];
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("row index in bounds");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        if r[col].abs() > EPS {
+            let f = r[col];
+            for (dst, &src) in r[..=total].iter_mut().zip(&pivot_row[..=total]) {
+                *dst -= f * src;
             }
         }
     }
@@ -413,7 +414,10 @@ mod tests {
         };
         assert!(matches!(
             solve(&lp),
-            Err(LpError::DimensionMismatch { expected: 2, got: 1 })
+            Err(LpError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

@@ -177,12 +177,24 @@ impl Cluster {
     /// Phase-2 confirmation of a committed sub-payment (credits the
     /// reverse directions along the path).
     pub fn confirm_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
-        self.phase2(trans_id, path, amount, MsgType::Confirm, MsgType::ConfirmAck)
+        self.phase2(
+            trans_id,
+            path,
+            amount,
+            MsgType::Confirm,
+            MsgType::ConfirmAck,
+        )
     }
 
     /// Phase-2 reversal of a committed sub-payment (restores escrow).
     pub fn reverse_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
-        self.phase2(trans_id, path, amount, MsgType::Reverse, MsgType::ReverseAck)
+        self.phase2(
+            trans_id,
+            path,
+            amount,
+            MsgType::Reverse,
+            MsgType::ReverseAck,
+        )
     }
 
     fn phase2(
@@ -311,7 +323,12 @@ pub struct TestbedRunner {
 impl TestbedRunner {
     /// Creates a runner. `elephant_threshold` classifies payments (set
     /// so 90% are mice, as in §5.2).
-    pub fn new(cluster: Cluster, scheme: SchemeKind, elephant_threshold: Amount, seed: u64) -> Self {
+    pub fn new(
+        cluster: Cluster,
+        scheme: SchemeKind,
+        elephant_threshold: Amount,
+        seed: u64,
+    ) -> Self {
         TestbedRunner {
             cluster,
             scheme,
@@ -384,9 +401,7 @@ impl TestbedRunner {
         let results: Vec<bool> = std::thread::scope(|s| {
             let handles: Vec<_> = live
                 .iter()
-                .map(|(id, path, amount)| {
-                    s.spawn(move || cluster.commit_part(*id, path, *amount))
-                })
+                .map(|(id, path, amount)| s.spawn(move || cluster.commit_part(*id, path, *amount)))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
@@ -626,8 +641,7 @@ mod tests {
     fn sp_scheme_end_to_end() {
         let (g, b) = diamond();
         let cluster = Cluster::launch(g, &b).unwrap();
-        let mut runner =
-            TestbedRunner::new(cluster, SchemeKind::ShortestPath, Amount::MAX, 1);
+        let mut runner = TestbedRunner::new(cluster, SchemeKind::ShortestPath, Amount::MAX, 1);
         assert!(runner.route_one(&pay(10), PaymentClass::Mice));
         assert!(!runner.route_one(&pay(11), PaymentClass::Mice));
     }
@@ -645,8 +659,7 @@ mod tests {
     fn flash_scheme_mice_and_elephant() {
         let (g, b) = diamond();
         let cluster = Cluster::launch(g, &b).unwrap();
-        let mut runner =
-            TestbedRunner::new(cluster, SchemeKind::Flash, Amount::from_units(5), 1);
+        let mut runner = TestbedRunner::new(cluster, SchemeKind::Flash, Amount::from_units(5), 1);
         assert!(runner.route_one(&pay(3), PaymentClass::Mice));
         assert!(runner.route_one(&pay(14), PaymentClass::Elephant));
         let report_funds = runner.cluster().total_funds();
@@ -657,8 +670,7 @@ mod tests {
     fn run_trace_reports() {
         let (g, b) = diamond();
         let cluster = Cluster::launch(g, &b).unwrap();
-        let mut runner =
-            TestbedRunner::new(cluster, SchemeKind::Flash, Amount::from_units(5), 2);
+        let mut runner = TestbedRunner::new(cluster, SchemeKind::Flash, Amount::from_units(5), 2);
         let trace = vec![pay(2), pay(3), pay(100)];
         let report = runner.run_trace(&trace);
         assert_eq!(report.attempted, 3);

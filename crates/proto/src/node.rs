@@ -302,17 +302,12 @@ impl Node {
 }
 
 fn accept_loop(node: Arc<Node>, listener: TcpListener) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if node.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let reader_node = Arc::clone(&node);
-                std::thread::spawn(move || reader_loop(reader_node, stream));
-            }
-            Err(_) => break,
+    while let Ok((stream, _)) = listener.accept() {
+        if node.shutdown.load(Ordering::SeqCst) {
+            break;
         }
+        let reader_node = Arc::clone(&node);
+        std::thread::spawn(move || reader_loop(reader_node, stream));
     }
 }
 

@@ -140,7 +140,7 @@ mod tests {
         let handle = std::thread::spawn(move || {
             let (mut s, _) = listener.accept().unwrap();
             let mut count = 0;
-            while let Some(_) = read_message(&mut s).unwrap() {
+            while read_message(&mut s).unwrap().is_some() {
                 count += 1;
             }
             count
@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn unknown_peer_errors() {
         let pool = ConnPool::new(HashMap::new());
-        assert!(matches!(
-            pool.send(1, &msg(1)),
-            Err(PcnError::Transport(_))
-        ));
+        assert!(matches!(pool.send(1, &msg(1)), Err(PcnError::Transport(_))));
     }
 
     #[test]

@@ -170,7 +170,9 @@ impl Message {
         let path: Vec<u32> = (0..path_len).map(|_| buf.get_u32()).collect();
         let cap_len = buf.get_u16() as usize;
         if cap_len > MAX_CAP_LEN {
-            return Err(PcnError::Codec(format!("capacity list too long: {cap_len}")));
+            return Err(PcnError::Codec(format!(
+                "capacity list too long: {cap_len}"
+            )));
         }
         need(&buf, 8 * cap_len + 8, "capacities")?;
         let capacities: Vec<u64> = (0..cap_len).map(|_| buf.get_u64()).collect();

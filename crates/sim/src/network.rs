@@ -199,9 +199,7 @@ impl Network {
             let e = self.graph.edge(u, v)?;
             let mut cap = self.balances[e.index()];
             if self.faults.enabled() {
-                cap = Amount::from_micros(
-                    self.faults.distort(&mut self.fault_rng, cap.micros()),
-                );
+                cap = Amount::from_micros(self.faults.distort(&mut self.fault_rng, cap.micros()));
             }
             let reverse = self.graph.reverse_edge(e).map(|rev| {
                 let mut rcap = self.balances[rev.index()];
@@ -289,7 +287,11 @@ impl PaymentSession<'_> {
     /// Commit messages are charged for every hop traversed, including
     /// the hops of a failed attempt (the prototype sends `COMMIT` until
     /// a node NACKs).
-    pub fn try_send_part(&mut self, path: &Path, amount: Amount) -> std::result::Result<(), PartFailure> {
+    pub fn try_send_part(
+        &mut self,
+        path: &Path,
+        amount: Amount,
+    ) -> std::result::Result<(), PartFailure> {
         assert!(!self.closed, "session already closed");
         if amount.is_zero() {
             return Ok(());
@@ -381,9 +383,12 @@ impl PaymentSession<'_> {
                 }
             }
         }
-        self.net
-            .metrics
-            .record_success(self.class, self.demand, self.fees_accrued, paths_used as u64);
+        self.net.metrics.record_success(
+            self.class,
+            self.demand,
+            self.fees_accrued,
+            paths_used as u64,
+        );
         self.closed = true;
         RouteOutcome::Success {
             volume: self.demand,
@@ -461,10 +466,18 @@ mod tests {
     #[test]
     fn failed_payment_leaves_no_trace() {
         let mut net = line_net();
-        let before: Vec<Amount> = net.graph().edges().map(|(e, _, _)| net.balance(e)).collect();
+        let before: Vec<Amount> = net
+            .graph()
+            .edges()
+            .map(|(e, _, _)| net.balance(e))
+            .collect();
         let out = net.send_single_path(&payment(11), PaymentClass::Mice, &path_0123());
         assert!(!out.is_success());
-        let after: Vec<Amount> = net.graph().edges().map(|(e, _, _)| net.balance(e)).collect();
+        let after: Vec<Amount> = net
+            .graph()
+            .edges()
+            .map(|(e, _, _)| net.balance(e))
+            .collect();
         assert_eq!(before, after);
         assert_eq!(net.metrics().total().attempted, 1);
         assert_eq!(net.metrics().total().succeeded, 0);
@@ -478,7 +491,9 @@ mod tests {
         net.set_balance(mid, Amount::from_units(2));
         let p = payment(5);
         let mut s = net.begin_payment(&p, PaymentClass::Mice);
-        let err = s.try_send_part(&path_0123(), Amount::from_units(5)).unwrap_err();
+        let err = s
+            .try_send_part(&path_0123(), Amount::from_units(5))
+            .unwrap_err();
         assert_eq!(err.failed_hop, 1);
         assert_eq!(err.available, Amount::from_units(2));
         s.abort();
@@ -522,7 +537,8 @@ mod tests {
         {
             let p = payment(5);
             let mut s = net.begin_payment(&p, PaymentClass::Mice);
-            s.try_send_part(&path_0123(), Amount::from_units(5)).unwrap();
+            s.try_send_part(&path_0123(), Amount::from_units(5))
+                .unwrap();
             // dropped without commit
         }
         assert_eq!(net.total_funds(), before);
@@ -536,7 +552,8 @@ mod tests {
         let mut net = line_net();
         let p = payment(8);
         let mut s = net.begin_payment(&p, PaymentClass::Mice);
-        s.try_send_part(&path_0123(), Amount::from_units(3)).unwrap();
+        s.try_send_part(&path_0123(), Amount::from_units(3))
+            .unwrap();
         let _ = s.commit();
     }
 
@@ -556,7 +573,8 @@ mod tests {
         let mut net = line_net();
         let p = payment(4);
         let mut s = net.begin_payment(&p, PaymentClass::Mice);
-        s.try_send_part(&path_0123(), Amount::from_units(4)).unwrap();
+        s.try_send_part(&path_0123(), Amount::from_units(4))
+            .unwrap();
         // While escrowed, a probe inside the same borrow isn't possible
         // (session borrows net), so check after abort + re-reserve flow:
         s.abort();
@@ -608,7 +626,10 @@ mod tests {
         let p = payment(1);
         let bogus = Path::new(vec![n(0), n(2), n(3)], None).unwrap();
         let out = net.send_single_path(&p, PaymentClass::Mice, &bogus);
-        assert_eq!(out, RouteOutcome::failure(FailureReason::InsufficientCapacity));
+        assert_eq!(
+            out,
+            RouteOutcome::failure(FailureReason::InsufficientCapacity)
+        );
         assert_eq!(net.total_funds(), Amount::from_units(60));
     }
 
@@ -617,12 +638,7 @@ mod tests {
         let mut g = DiGraph::new(2);
         g.add_channel(n(0), n(1)).unwrap();
         assert!(Network::new(g.clone(), vec![Amount::ZERO], vec![]).is_err());
-        assert!(Network::new(
-            g,
-            vec![Amount::ZERO; 2],
-            vec![FeePolicy::FREE; 3]
-        )
-        .is_err());
+        assert!(Network::new(g, vec![Amount::ZERO; 2], vec![FeePolicy::FREE; 3]).is_err());
     }
 
     proptest! {

@@ -21,12 +21,7 @@ pub trait Router {
 
     /// Routes one payment, driving probes and an atomic payment session
     /// on `net`. Must leave balances untouched when returning a failure.
-    fn route(
-        &mut self,
-        net: &mut Network,
-        payment: &Payment,
-        class: PaymentClass,
-    ) -> RouteOutcome;
+    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome;
 
     /// Notification that the local topology was refreshed (the gossip
     /// protocol of §3.1). Routers with caches (Flash's routing table,

@@ -28,9 +28,7 @@ pub const MICROS_PER_UNIT: u64 = 1_000_000;
 /// Checked/saturating arithmetic is provided where overflow is plausible;
 /// the plain operators panic on overflow in debug and are only used where
 /// an invariant guarantees the result fits.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Amount(u64);
 
@@ -253,7 +251,10 @@ mod tests {
 
     #[test]
     fn checked_sub_underflow_is_none() {
-        assert_eq!(Amount::from_units(1).checked_sub(Amount::from_units(2)), None);
+        assert_eq!(
+            Amount::from_units(1).checked_sub(Amount::from_units(2)),
+            None
+        );
     }
 
     #[test]

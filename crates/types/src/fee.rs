@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn free_policy_charges_nothing() {
-        assert_eq!(FeePolicy::FREE.fee(Amount::from_units(1_000_000)), Amount::ZERO);
+        assert_eq!(
+            FeePolicy::FREE.fee(Amount::from_units(1_000_000)),
+            Amount::ZERO
+        );
     }
 
     #[test]

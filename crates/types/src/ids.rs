@@ -8,9 +8,7 @@ use std::fmt;
 /// Nodes are dense indices into the topology's node table, which lets the
 /// graph and simulator use flat `Vec` storage instead of hash maps on the
 /// hot path.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub u32);
 
@@ -50,9 +48,7 @@ impl fmt::Display for NodeId {
 /// A bidirectional channel between `u` and `v` is represented by the two
 /// directed ids `(u → v)` and `(v → u)`, each with its own balance, exactly
 /// as the paper treats "channel balances on different directions".
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChannelId {
     /// Sending endpoint.
     pub from: NodeId,
@@ -101,9 +97,7 @@ impl fmt::Display for ChannelId {
 
 /// A unique transaction (payment) identifier, matching the `TransID`
 /// field of the prototype's wire format (Table 1 of the paper).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TxId(pub u64);
 

@@ -76,12 +76,7 @@ mod tests {
     use super::*;
 
     fn pay(amount: u64) -> Payment {
-        Payment::new(
-            TxId(1),
-            NodeId(0),
-            NodeId(1),
-            Amount::from_units(amount),
-        )
+        Payment::new(TxId(1), NodeId(0), NodeId(1), Amount::from_units(amount))
     }
 
     #[test]

@@ -83,10 +83,7 @@ impl PairGenerator {
 
     fn sample_sender(&mut self) -> NodeId {
         let u: f64 = self.rng.random();
-        let idx = self
-            .sender_cdf
-            .partition_point(|&c| c < u)
-            .min(self.n - 1);
+        let idx = self.sender_cdf.partition_point(|&c| c < u).min(self.n - 1);
         // Node ids are assigned in hub-first order by the scale-free
         // generator's preferential attachment, so low indices being more
         // active matches reality (hubs transact more).

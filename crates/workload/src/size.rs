@@ -192,7 +192,8 @@ mod tests {
     fn quantile_endpoints() {
         assert!((SizeModel::RippleUsd.quantile(0.0) / 1e-6 - 1.0).abs() < 1e-9);
         assert!((SizeModel::RippleUsd.quantile(1.0) / 1_000_000.0 - 1.0).abs() < 1e-9);
-        assert!((SizeModel::RippleUsd.quantile(2.0) / 1_000_000.0 - 1.0).abs() < 1e-9); // clamped
+        assert!((SizeModel::RippleUsd.quantile(2.0) / 1_000_000.0 - 1.0).abs() < 1e-9);
+        // clamped
     }
 
     #[test]

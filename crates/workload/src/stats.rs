@@ -68,7 +68,7 @@ pub fn daily_recurrence(trace: &[Payment], per_day: usize) -> Vec<DayRecurrence>
     trace
         .chunks(per_day)
         .filter(|day| day.len() >= 2)
-        .map(|day| one_day_recurrence(day))
+        .map(one_day_recurrence)
         .collect()
 }
 

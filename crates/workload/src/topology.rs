@@ -45,8 +45,7 @@ pub fn ripple_topology(seed: u64) -> Network {
 /// split *unevenly* between the two directions (a random cut), matching
 /// how real Lightning balances look mid-life.
 pub fn lightning_topology(seed: u64) -> Network {
-    let graph =
-        generators::scale_free_with_channels(LIGHTNING_NODES, LIGHTNING_CHANNELS, seed);
+    let graph = generators::scale_free_with_channels(LIGHTNING_NODES, LIGHTNING_CHANNELS, seed);
     assign_lognormal_funds(
         graph,
         LIGHTNING_MEDIAN_CAPACITY_SAT,

@@ -120,9 +120,8 @@ pub fn from_jsonl(text: &str) -> Result<Vec<Payment>> {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: TraceRecord = serde_json::from_str(line).map_err(|e| {
-            PcnError::InvalidConfig(format!("trace line {}: {e}", lineno + 1))
-        })?;
+        let rec: TraceRecord = serde_json::from_str(line)
+            .map_err(|e| PcnError::InvalidConfig(format!("trace line {}: {e}", lineno + 1)))?;
         out.push(Payment::new(
             TxId(rec.id),
             pcn_types::NodeId(rec.sender),

@@ -42,7 +42,11 @@ fn main() {
 
     // Phase 1: Algorithm 1 discovers paths, probing lazily.
     let plan = elephant::find_paths(&mut net, n(0), n(5), demand, 4);
-    println!("discovered {} candidate paths (max flow ${}):", plan.paths.len(), plan.max_flow);
+    println!(
+        "discovered {} candidate paths (max flow ${}):",
+        plan.paths.len(),
+        plan.max_flow
+    );
     for p in &plan.paths {
         println!("  {p}");
     }
@@ -65,7 +69,9 @@ fn main() {
     let parts = fees::split_payment(net.graph(), &plan, demand, true).unwrap();
     let mut session = net.begin_payment(&payment, PaymentClass::Elephant);
     for (path, amount) in &parts {
-        session.try_send_part(path, *amount).expect("probed capacity holds");
+        session
+            .try_send_part(path, *amount)
+            .expect("probed capacity holds");
     }
     let outcome = session.commit();
     println!("executed: {outcome:?}");

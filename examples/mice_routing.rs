@@ -47,10 +47,7 @@ fn main() {
 
     // Show the probe counter rarely moving: most payments are pure
     // table lookups + a single full-amount attempt.
-    let quiet = probes_at
-        .windows(2)
-        .filter(|w| w[0] == w[1])
-        .count();
+    let quiet = probes_at.windows(2).filter(|w| w[0] == w[1]).count();
     println!(
         "payments with zero probes: {} of {}",
         quiet + 1,

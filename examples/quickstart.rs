@@ -51,5 +51,8 @@ fn main() {
     println!("\nsuccess ratio:  {:.1}%", m.success_ratio() * 100.0);
     println!("success volume: ${}", m.success_volume());
     println!("probe messages: {}", m.probe_messages);
-    println!("routing table:  {} receivers cached", flash.routing_table_len());
+    println!(
+        "routing table:  {} receivers cached",
+        flash.routing_table_len()
+    );
 }

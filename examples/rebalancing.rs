@@ -48,7 +48,10 @@ fn main() {
         }
     }
     let depleted = depleted_edges(&net, 10);
-    println!("after skewed load: {failures_before} failures, {} depleted channel directions", depleted.len());
+    println!(
+        "after skewed load: {failures_before} failures, {} depleted channel directions",
+        depleted.len()
+    );
 
     // Sweep.
     let report = rebalance_sweep(&mut net, &RebalanceConfig::default());

@@ -19,10 +19,13 @@ fn main() {
     let trace_topo = testbed_topology(nodes, lo, hi, 42);
     let trace = generate_trace(trace_topo.graph(), &TraceConfig::ripple(150, 7));
     let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
-    let threshold =
-        flash_offchain::core::classify::threshold_for_mice_fraction(&amounts, 0.9);
+    let threshold = flash_offchain::core::classify::threshold_for_mice_fraction(&amounts, 0.9);
 
-    for scheme in [SchemeKind::ShortestPath, SchemeKind::Spider, SchemeKind::Flash] {
+    for scheme in [
+        SchemeKind::ShortestPath,
+        SchemeKind::Spider,
+        SchemeKind::Flash,
+    ] {
         // Fresh cluster per scheme: identical initial balances.
         let topo = testbed_topology(nodes, lo, hi, 42);
         let graph = topo.graph().clone();

@@ -6,9 +6,7 @@
 //! cargo run --example trace_generation
 //! ```
 
-use flash_offchain::workload::stats::{
-    daily_recurrence, quantile, top_fraction_volume_share,
-};
+use flash_offchain::workload::stats::{daily_recurrence, quantile, top_fraction_volume_share};
 use flash_offchain::workload::trace::{generate_trace, to_jsonl, TraceConfig};
 use flash_offchain::workload::{ripple_topology, SizeModel};
 
@@ -44,8 +42,11 @@ fn main() {
     // Bitcoin-style sizes for the Lightning experiments.
     let btc = SizeModel::BitcoinSatoshi.sample_many(20_000, 3);
     let btc_sizes: Vec<f64> = btc.iter().map(|a| a.as_units_f64()).collect();
-    println!("\nbitcoin sizes: median {:.3e} sat (1.293e6), p90 {:.3e} sat (8.9e7)",
-        quantile(&btc_sizes, 0.5), quantile(&btc_sizes, 0.9));
+    println!(
+        "\nbitcoin sizes: median {:.3e} sat (1.293e6), p90 {:.3e} sat (8.9e7)",
+        quantile(&btc_sizes, 0.5),
+        quantile(&btc_sizes, 0.9)
+    );
 
     // Traces serialize to JSON lines, like the paper's released dataset.
     let jsonl = to_jsonl(&trace[..3]);

@@ -1,0 +1,88 @@
+//! Minimal, dependency-free stand-in for the `rand_distr` crate.
+//!
+//! Vendors only what the workspace uses: the [`Distribution`] trait and a
+//! [`LogNormal`] distribution (standard normal via Box–Muller).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Random, RngCore};
+
+/// Types that generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The log-normal distribution `exp(N(mu, sigma^2))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution whose underlying normal has mean
+    /// `mu` and standard deviation `sigma`.
+    ///
+    /// # Errors
+    /// Returns an error if `sigma` is negative or not finite, or if `mu`
+    /// is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() {
+            return Err(Error("LogNormal: mu must be finite"));
+        }
+        if !(sigma.is_finite() && sigma >= 0.0) {
+            return Err(Error("LogNormal: sigma must be finite and non-negative"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform: two uniforms → one standard normal.
+        let mut u1 = f64::random(rng);
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = f64::random(rng);
+        }
+        let u2 = f64::random(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn median_is_roughly_exp_mu() {
+        let d = LogNormal::new(100f64.ln(), 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut samples: Vec<f64> = (0..4001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!(median > 50.0 && median < 200.0, "median {median}");
+    }
+}

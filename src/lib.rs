@@ -39,6 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use flash_core as core;
 pub use pcn_experiments as experiments;

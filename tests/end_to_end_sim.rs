@@ -66,8 +66,7 @@ fn dynamic_schemes_beat_static_on_success_volume() {
             seed,
         );
         flash_vol = flash_vol.saturating_add(f.success_volume());
-        best_static =
-            best_static.saturating_add(sp.success_volume().max(sm.success_volume()));
+        best_static = best_static.saturating_add(sp.success_volume().max(sm.success_volume()));
     }
     assert!(
         flash_vol > best_static,
@@ -137,11 +136,9 @@ fn capacity_scaling_monotonically_helps() {
         let mut high = base.clone();
         high.scale_balances(40);
         low_total +=
-            run_scheme(&low, SimScheme::Flash, &trace, DEFAULT_MICE_FRACTION, seed)
-                .success_ratio();
-        high_total +=
-            run_scheme(&high, SimScheme::Flash, &trace, DEFAULT_MICE_FRACTION, seed)
-                .success_ratio();
+            run_scheme(&low, SimScheme::Flash, &trace, DEFAULT_MICE_FRACTION, seed).success_ratio();
+        high_total += run_scheme(&high, SimScheme::Flash, &trace, DEFAULT_MICE_FRACTION, seed)
+            .success_ratio();
     }
     assert!(
         high_total >= low_total,

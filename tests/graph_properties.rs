@@ -7,8 +7,7 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn arb_ws() -> impl Strategy<Value = DiGraph> {
-    (6usize..20, 0u64..500)
-        .prop_map(|(n, seed)| generators::watts_strogatz(n.max(6), 4, 0.3, seed))
+    (6usize..20, 0u64..500).prop_map(|(n, seed)| generators::watts_strogatz(n.max(6), 4, 0.3, seed))
 }
 
 proptest! {

@@ -19,7 +19,11 @@ fn launch(nodes: usize, seed: u64) -> (Cluster, Vec<flash_offchain::types::Payme
 
 #[test]
 fn testbed_conserves_funds_across_full_trace() {
-    for scheme in [SchemeKind::Flash, SchemeKind::Spider, SchemeKind::ShortestPath] {
+    for scheme in [
+        SchemeKind::Flash,
+        SchemeKind::Spider,
+        SchemeKind::ShortestPath,
+    ] {
         let (cluster, trace) = launch(16, 11);
         let before = cluster.total_funds();
         let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
@@ -83,7 +87,10 @@ fn flash_tcp_beats_sp_on_volume() {
         flash_report.success_volume,
         sp_report.success_volume
     );
-    assert!(flash_report.probe_messages > 0, "Flash should probe sometimes");
+    assert!(
+        flash_report.probe_messages > 0,
+        "Flash should probe sometimes"
+    );
     assert_eq!(sp_report.probe_messages, 0, "SP never probes");
 }
 
@@ -141,5 +148,8 @@ fn lossy_transport_degrades_but_never_wedges() {
     // The run completes (no deadlock), records every attempt, and under
     // 20% loss some payments time out.
     assert_eq!(report.attempted, 30);
-    assert!(report.succeeded < 30, "20% message loss must fail something");
+    assert!(
+        report.succeeded < 30,
+        "20% message loss must fail something"
+    );
 }
