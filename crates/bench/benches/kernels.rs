@@ -29,6 +29,16 @@ fn graph_kernels(c: &mut Criterion) {
     c.bench_function("edmonds_karp_500n", |b| {
         b.iter(|| black_box(maxflow::edmonds_karp(g, s, t, &caps).value))
     });
+    c.bench_function("dinic_500n", |b| {
+        b.iter(|| black_box(maxflow::dinic(g, s, t, &caps).value))
+    });
+    c.bench_function("dinic_scaling_500n", |b| {
+        b.iter(|| black_box(maxflow::dinic_scaling(g, s, t, &caps).value))
+    });
+    c.bench_function("flow_decompose_500n", |b| {
+        let mf = maxflow::dinic(g, s, t, &caps);
+        b.iter(|| black_box(maxflow::decompose_into_paths(g, s, t, &mf)))
+    });
 }
 
 fn algorithm1(c: &mut Criterion) {

@@ -2,8 +2,9 @@
 //!
 //! Shared fixtures for the Criterion benchmarks. Three bench targets:
 //!
-//! * `kernels` — algorithmic hot paths (BFS, Yen, Edmonds–Karp, the
-//!   simplex solver, Algorithm 1, waterfilling, the wire codec).
+//! * `kernels` — algorithmic hot paths (BFS, Yen, the max-flow kernels
+//!   — Edmonds–Karp, Dinic, flow decomposition — the simplex solver,
+//!   Algorithm 1, waterfilling, the wire codec).
 //! * `figures` — one representative cell per paper figure, so `cargo
 //!   bench` regenerates a reduced-scale version of every experiment and
 //!   its runtime budget is tracked over time.
@@ -11,6 +12,13 @@
 //!   (random vs. fixed mice path order, lazy vs. exhaustive probing,
 //!   max-flow vs. edge-disjoint vs. Yen path finding, LP vs. sequential
 //!   fee splits).
+//!
+//! Plus one binary: `maxflow_bench`, which compares every
+//! `MaxFlowSolver` kernel on the Watts–Strogatz and Ripple/Lightning
+//! generator topologies, cross-checks their flow values, and writes
+//! `BENCH_maxflow.json` (CI runs it in `--smoke` mode and uploads the
+//! file as an artifact, so the kernel perf trajectory is tracked per
+//! PR).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

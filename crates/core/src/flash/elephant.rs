@@ -192,14 +192,16 @@ pub fn find_paths_with(
 }
 
 /// Reference check used in tests and ablations: the true max-flow over
-/// the probed sub-capacities, via classic Edmonds–Karp on the full graph
-/// with unprobed edges at zero.
+/// the probed sub-capacities (unprobed edges at zero), via the Dinic
+/// kernel — itself differentially tested against Edmonds–Karp in
+/// `pcn-graph`, and fast enough to run at Lightning scale.
 pub fn oracle_max_flow(graph: &DiGraph, plan: &ElephantPlan, s: NodeId, t: NodeId) -> Amount {
+    use pcn_graph::maxflow::{Dinic, MaxFlowSolver};
     let mut caps = vec![0u64; graph.edge_count()];
     for (e, c) in &plan.capacities {
         caps[e.index()] = c.micros();
     }
-    let mf = pcn_graph::maxflow::edmonds_karp(graph, s, t, &caps);
+    let mf = Dinic::new().max_flow(graph, s, t, &caps);
     Amount::from_micros(mf.value)
 }
 

@@ -17,11 +17,25 @@ use std::collections::HashMap;
 /// One routing-table entry.
 #[derive(Clone, Debug)]
 struct TableEntry {
-    /// Cached top-m (plus replacements) shortest paths.
+    /// The live path set: the top-m shortest paths, with dead paths
+    /// swapped for later Yen ranks by [`RoutingTable::replace_path`].
     paths: Vec<Path>,
-    /// How many Yen paths have been consumed so far (m + replacements);
-    /// the next replacement takes the path at this rank.
+    /// Every Yen rank computed so far, in rank order — the cached prefix
+    /// that replacements consume before recomputing anything.
+    yen_all: Vec<Path>,
+    /// How many Yen ranks have been handed out (initial paths +
+    /// replacements); the next replacement takes `yen_all[yen_cursor]`.
+    /// Always ≤ the number of ranks that actually exist: initialized to
+    /// `paths.len()`, not `m`, because Yen may return fewer than `m`.
     yen_cursor: usize,
+    /// `Some(edge_count)` of the topology on which Yen last proved
+    /// `yen_all` is *every* simple path there is. While the fingerprint
+    /// matches, replacements skip the refetch entirely instead of
+    /// re-proving exhaustion with a full Yen run per dead path.
+    /// ([`RoutingTable::refresh`] is the real answer to topology change;
+    /// the fingerprint just keeps an un-refreshed grown graph from being
+    /// treated as still exhausted.)
+    exhausted_at_edges: Option<usize>,
     /// Logical timestamp of the last lookup (for TTL eviction).
     last_used: u64,
 }
@@ -60,10 +74,15 @@ impl RoutingTable {
     /// lookups in most cases"). `now` stamps the entry for TTL purposes.
     pub fn lookup_or_compute(&mut self, g: &DiGraph, s: NodeId, t: NodeId, now: u64) -> Vec<Path> {
         let m = self.m;
-        let entry = self.entries.entry((s, t)).or_insert_with(|| TableEntry {
-            paths: yen::k_shortest_paths_hops(g, s, t, m),
-            yen_cursor: m,
-            last_used: now,
+        let entry = self.entries.entry((s, t)).or_insert_with(|| {
+            let paths = yen::k_shortest_paths_hops(g, s, t, m);
+            TableEntry {
+                yen_all: paths.clone(),
+                yen_cursor: paths.len(),
+                exhausted_at_edges: (paths.len() < m).then(|| g.edge_count()),
+                paths,
+                last_used: now,
+            }
         });
         entry.last_used = now;
         entry.paths.clone()
@@ -81,14 +100,30 @@ impl RoutingTable {
         if idx >= entry.paths.len() {
             return;
         }
-        let want = entry.yen_cursor + 1;
-        let all = yen::k_shortest_paths_hops(g, s, t, want);
-        if all.len() >= want {
-            entry.paths[idx] = all[want - 1].clone();
+        // Serve from the cached Yen prefix when possible; only when it is
+        // spent recompute — and then fetch a batch of `m` extra ranks so
+        // the next m replacements are cache hits instead of full Yen runs
+        // (the recompute returns all earlier ranks anyway, so the batch
+        // costs little beyond what a single-rank fetch would). When Yen
+        // has already proven there is no further simple path on this
+        // topology, don't re-prove it on every dead path.
+        if entry.yen_cursor >= entry.yen_all.len()
+            && entry.exhausted_at_edges != Some(g.edge_count())
+        {
+            let fetch = entry.yen_cursor + self.m.max(1);
+            entry.yen_all = yen::k_shortest_paths_hops(g, s, t, fetch);
+            entry.exhausted_at_edges = (entry.yen_all.len() < fetch).then(|| g.edge_count());
+        }
+        if let Some(next) = entry.yen_all.get(entry.yen_cursor) {
+            entry.paths[idx] = next.clone();
+            entry.yen_cursor += 1;
         } else {
+            // The graph has no further simple path: drop the dead one.
+            // The cursor stays put — it counts ranks actually handed
+            // out, so a later replacement against a grown topology
+            // resumes from the right rank instead of skipping paths.
             entry.paths.remove(idx);
         }
-        entry.yen_cursor = want;
     }
 
     /// Evicts entries unused for longer than the TTL.
@@ -169,6 +204,95 @@ mod tests {
         t.replace_path(&g, n(0), n(1), 0);
         let paths = t.lookup_or_compute(&g, n(0), n(1), 2);
         assert!(paths.is_empty());
+    }
+
+    /// Regression: `yen_cursor` must count paths actually returned, not
+    /// `m`. With the old `yen_cursor: m` initialization, an entry that
+    /// cached fewer than `m` paths over-counted its consumed ranks, so
+    /// the first replacement against a richer topology skipped the true
+    /// next-best path and served a later rank.
+    #[test]
+    fn cursor_tracks_returned_paths_not_m() {
+        // g1 has a single simple path 0 → 3, so m = 2 caches just one.
+        let mut g1 = DiGraph::new(5);
+        for (u, v) in [(0, 1), (1, 3)] {
+            g1.add_edge(n(u), n(v)).unwrap();
+        }
+        let mut t = RoutingTable::new(2, 100);
+        let paths = t.lookup_or_compute(&g1, n(0), n(3), 1);
+        assert_eq!(paths.len(), 1);
+
+        // The topology grows: now ranks are 0-1-3, 0-2-3, 0-4-3.
+        let mut g2 = DiGraph::new(5);
+        for (u, v) in [(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 3)] {
+            g2.add_edge(n(u), n(v)).unwrap();
+        }
+        // One rank was handed out, so the replacement must serve rank 2
+        // (0-2-3) — not rank m + 1 = 3 (0-4-3).
+        t.replace_path(&g2, n(0), n(3), 0);
+        let after = t.lookup_or_compute(&g2, n(0), n(3), 2);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].nodes(), &[n(0), n(2), n(3)]);
+    }
+
+    /// Successive replacements hand out strictly increasing Yen ranks,
+    /// served from the cached prefix (the batch refetch makes later
+    /// replacements cache hits rather than fresh Yen runs).
+    #[test]
+    fn successive_replacements_advance_through_ranks() {
+        // Four simple paths 0 → 3, all distinct.
+        let mut g = DiGraph::new(6);
+        for (u, v) in [
+            (0, 1),
+            (1, 3),
+            (0, 2),
+            (2, 3),
+            (0, 4),
+            (4, 3),
+            (0, 5),
+            (5, 3),
+        ] {
+            g.add_edge(n(u), n(v)).unwrap();
+        }
+        let mut t = RoutingTable::new(2, 100);
+        let initial = t.lookup_or_compute(&g, n(0), n(3), 1);
+        assert_eq!(initial.len(), 2);
+        t.replace_path(&g, n(0), n(3), 0);
+        t.replace_path(&g, n(0), n(3), 1);
+        let after = t.lookup_or_compute(&g, n(0), n(3), 2);
+        assert_eq!(after.len(), 2);
+        let mut all: Vec<_> = initial
+            .iter()
+            .chain(after.iter())
+            .map(|p| p.nodes().to_vec())
+            .collect();
+        let len_before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), len_before, "a Yen rank was handed out twice");
+    }
+
+    /// The caller's contract when several paths die in one payment:
+    /// replacements must run highest index first, because an exhausted
+    /// `replace_path` removes its slot and shifts everything after it.
+    /// Descending order drops both dead paths; ascending would leave a
+    /// dead path cached (the second index, shifted, points past the end).
+    #[test]
+    fn exhausted_replacements_in_descending_index_order_drop_all() {
+        // Exactly two simple paths 0 → 3.
+        let mut g = DiGraph::new(4);
+        for (u, v) in [(0, 1), (1, 3), (0, 2), (2, 3)] {
+            g.add_edge(n(u), n(v)).unwrap();
+        }
+        let mut t = RoutingTable::new(2, 100);
+        assert_eq!(t.lookup_or_compute(&g, n(0), n(3), 1).len(), 2);
+        // Both paths found dead; Yen has no rank 3 to hand out.
+        t.replace_path(&g, n(0), n(3), 1);
+        t.replace_path(&g, n(0), n(3), 0);
+        assert!(
+            t.lookup_or_compute(&g, n(0), n(3), 2).is_empty(),
+            "both dead paths must be gone"
+        );
     }
 
     #[test]

@@ -201,6 +201,10 @@ impl FlashRouter {
             RouteOutcome::failure(FailureReason::InsufficientCapacity)
         };
         // Replace zero-capacity paths with the next top shortest path.
+        // Highest index first: when Yen is exhausted `replace_path`
+        // *removes* the dead path, which would shift any smaller index
+        // still waiting in the list onto a live path.
+        dead_paths.sort_unstable_by(|a, b| b.cmp(a));
         for idx in dead_paths {
             self.table
                 .replace_path(net.graph(), payment.sender, payment.receiver, idx);

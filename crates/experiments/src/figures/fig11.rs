@@ -5,6 +5,12 @@
 //! upperbound". To isolate mice statistics the experiment replays only
 //! the mice payments of the trace (classified at the default 90%
 //! threshold), exactly the population whose behaviour m controls.
+//!
+//! What makes `m = 0` the upper bound is max-flow: each send can deliver
+//! at most the true max-flow between sender and receiver at that moment
+//! ([`crate::harness::static_max_flow`], computed by the Dinic kernel).
+//! The tests below pin that bound against the pristine network and check
+//! the kernels agree on it.
 
 use crate::harness::{run_scheme, Effort, SimScheme, Topo, DEFAULT_MICE_FRACTION};
 use crate::report::{FigureResult, Series};
@@ -72,6 +78,45 @@ mod tests {
         // "using a few routes achieves at least ∼12x less probing
         // overhead" — direction with slack at quick scale.
         assert!(m4 < m0, "m=4 probes ({m4}) should be far below m=0 ({m0})");
+    }
+
+    /// The `m = 0` upper bound rests on the max-flow kernel: all three
+    /// kernels must report the same bound on the experiment topology,
+    /// and the first routed payment (pristine balances) can never
+    /// deliver more than it.
+    #[test]
+    fn m0_upper_bound_and_kernels_agree() {
+        use crate::harness::static_max_flow;
+        use pcn_graph::maxflow::{Dinic, EdmondsKarp, MaxFlowSolver};
+
+        let net = Topo::Ripple.build_network(Effort::Quick, 600);
+        let trace = Topo::Ripple.build_trace(&net, 10, 671);
+        let g = net.graph();
+        let caps: Vec<u64> = g.edges().map(|(e, _, _)| net.balance(e).micros()).collect();
+        for p in trace.iter().take(4) {
+            let oracle = EdmondsKarp.max_flow(g, p.sender, p.receiver, &caps).value;
+            for solver in [Dinic::new(), Dinic::with_capacity_scaling()] {
+                assert_eq!(
+                    solver.max_flow(g, p.sender, p.receiver, &caps).value,
+                    oracle,
+                    "{} disagrees with the oracle",
+                    solver.name()
+                );
+            }
+            assert_eq!(
+                static_max_flow(&net, p.sender, p.receiver),
+                Amount::from_micros(oracle)
+            );
+        }
+        // First payment against pristine balances: delivered ≤ max-flow.
+        let first = trace[0];
+        let bound = static_max_flow(&net, first.sender, first.receiver);
+        let metrics = run_scheme(&net, SimScheme::FlashWithM(0), &trace[..1], 1.0, 600);
+        assert!(
+            metrics.success_volume() <= bound.min(first.amount),
+            "m = 0 delivered {} above the max-flow bound {bound}",
+            metrics.success_volume()
+        );
     }
 
     #[test]

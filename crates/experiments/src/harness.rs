@@ -6,8 +6,9 @@ use flash_core::{
     SpiderRouter,
 };
 use pcn_graph::generators;
+use pcn_graph::maxflow::{Dinic, MaxFlowSolver};
 use pcn_sim::{Metrics, Network, Router};
-use pcn_types::{Amount, FeePolicy, Payment};
+use pcn_types::{Amount, FeePolicy, NodeId, Payment};
 use pcn_workload::trace::{generate_trace, TraceConfig};
 use pcn_workload::{lightning_topology, ripple_topology};
 
@@ -203,6 +204,17 @@ pub fn run_scheme(
         router.route(&mut net, p, class);
     }
     net.metrics().clone()
+}
+
+/// The true `s → t` max-flow over the network's *current* balances, via
+/// the Dinic kernel. This is the quantity the Figure 11 `m = 0`
+/// configuration (mice routed by the elephant algorithm) is upper-bounded
+/// by at each send, and the anchor the kernel-agreement tests compare
+/// against.
+pub fn static_max_flow(net: &Network, s: NodeId, t: NodeId) -> Amount {
+    let g = net.graph();
+    let caps: Vec<u64> = g.edges().map(|(e, _, _)| net.balance(e).micros()).collect();
+    Amount::from_micros(Dinic::new().max_flow(g, s, t, &caps).value)
 }
 
 /// Averages `f(run_seed)` over the effort's run count.

@@ -12,8 +12,11 @@
 //!   `Breadth-First-Search(G, C', s, t)` primitive of Algorithm 1).
 //! * [`dijkstra`] — weighted shortest paths.
 //! * [`yen`] — Yen's k-shortest loopless paths (§3.3 mice routing tables).
-//! * [`maxflow`] — classic Edmonds–Karp, used as the ground-truth oracle
-//!   that Flash's k-bounded variant is tested against.
+//! * [`maxflow`] — the max-flow subsystem behind the
+//!   [`maxflow::MaxFlowSolver`] trait: Dinic's blocking-flow kernel (the
+//!   hot path, optional capacity scaling) and classic Edmonds–Karp (the
+//!   differential-testing oracle Flash's k-bounded variant is validated
+//!   against), plus min-cut extraction and path decomposition.
 //! * [`disjoint`] — k edge-disjoint shortest paths (Spider's path set).
 //! * [`generators`] — Watts–Strogatz (§5.2 testbed topologies),
 //!   Barabási–Albert scale-free (Ripple/Lightning-like topologies), and

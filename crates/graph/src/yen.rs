@@ -75,16 +75,22 @@ pub fn k_shortest_paths(
             if seen.contains(&nodes) {
                 continue;
             }
-            let mut w = spur_wp.weight;
-            for win in root.windows(2) {
+            // Weight of root + spur. A `weight` closure may be stateful
+            // (capacity- or congestion-dependent filters), so a root edge
+            // that was traversable when its path was found can be
+            // filtered out *now* — such a candidate is unusable and must
+            // be discarded entirely, not kept with an understated weight.
+            let root_weight = root.windows(2).try_fold(0u64, |acc, win| {
                 let e = g.edge(win[0], win[1]).expect("root edge must exist");
-                let Some(ew) = weight(e) else { continue };
-                w = w.saturating_add(ew);
-            }
+                weight(e).map(|ew| acc.saturating_add(ew))
+            });
+            let Some(root_weight) = root_weight else {
+                continue;
+            };
             seen.insert(nodes.clone());
             candidates.push(WeightedPath {
                 path: Path::from_vec_unchecked(nodes),
-                weight: w,
+                weight: spur_wp.weight.saturating_add(root_weight),
             });
         }
         if candidates.is_empty() {
@@ -266,6 +272,83 @@ mod tests {
         assert_eq!(ps.len(), 2);
         assert_eq!(ps[0].weight, 2);
         assert_eq!(ps[1].weight, 11);
+    }
+
+    /// Regression: a candidate whose *root* traverses a filtered-out
+    /// edge must be discarded, not kept with an understated weight.
+    ///
+    /// Only a stateful weight closure can trigger this (a pure filter's
+    /// roots always pass, because every found path was discovered through
+    /// that same filter) — exactly the capacity-dependent filters the
+    /// routers use. Here edge 0→1 is traversable once (the initial
+    /// Dijkstra queries each edge at most once) and filtered afterwards:
+    /// the 0-1-2-3 candidate stitched onto the now-dead 0→1 root must
+    /// not appear, and the understated weight 11 must not outrank the
+    /// valid 0-2-3 candidate (weight 20).
+    #[test]
+    fn stale_root_edge_discards_candidate() {
+        let mut g = DiGraph::new(4);
+        let mut w = Vec::new();
+        for (u, v, c) in [
+            (0u32, 1u32, 1u64),
+            (1, 3, 1),
+            (0, 2, 10),
+            (2, 3, 10),
+            (1, 2, 1),
+        ] {
+            g.add_edge(n(u), n(v)).unwrap();
+            w.push(c);
+        }
+        let e01 = g.edge(n(0), n(1)).unwrap();
+        let mut e01_queries = 0usize;
+        let ps = k_shortest_paths(&g, n(0), n(3), 3, |e| {
+            if e == e01 {
+                e01_queries += 1;
+                return (e01_queries == 1).then_some(w[e.index()]);
+            }
+            Some(w[e.index()])
+        });
+        assert_eq!(ps[0].path.nodes(), &[n(0), n(1), n(3)]);
+        assert_eq!(ps.len(), 2, "0-1-2-3 rides a dead root and must be gone");
+        assert_eq!(ps[1].path.nodes(), &[n(0), n(2), n(3)]);
+        assert_eq!(
+            ps[1].weight, 20,
+            "surviving candidate keeps its true weight"
+        );
+    }
+
+    /// With a pure filter, every returned path avoids the filtered edge
+    /// and reports its exact weight sum.
+    #[test]
+    fn filtered_edge_never_appears_and_weights_are_exact() {
+        let mut g = DiGraph::new(4);
+        let mut w = Vec::new();
+        for (u, v, c) in [
+            (0u32, 1u32, 1u64),
+            (1, 3, 1),
+            (0, 2, 2),
+            (2, 3, 2),
+            (1, 2, 1),
+            (2, 1, 1),
+        ] {
+            g.add_edge(n(u), n(v)).unwrap();
+            w.push(c);
+        }
+        let dead = g.edge(n(1), n(3)).unwrap();
+        let ps = k_shortest_paths(&g, n(0), n(3), 10, |e| (e != dead).then(|| w[e.index()]));
+        assert!(!ps.is_empty());
+        for wp in &ps {
+            let true_weight: u64 = wp
+                .path
+                .channels()
+                .map(|(u, v)| {
+                    let e = g.edge(u, v).unwrap();
+                    assert_ne!(e, dead, "filtered edge used by {:?}", wp.path);
+                    w[e.index()]
+                })
+                .sum();
+            assert_eq!(wp.weight, true_weight);
+        }
     }
 
     #[test]
