@@ -10,7 +10,7 @@
 //! accumulated flow covers the demand.
 
 use pcn_graph::{bfs, DiGraph, EdgeId, Path};
-use pcn_sim::Network;
+use pcn_sim::PaymentNetwork;
 use pcn_types::{Amount, FeePolicy, NodeId};
 use std::collections::HashMap;
 
@@ -26,16 +26,18 @@ pub struct ProbedChannel {
     pub reverse_capacity: Option<Amount>,
 }
 
-/// A probing backend: the simulator ([`pcn_sim::Network`]) or the TCP
-/// testbed prototype. Algorithm 1 is written against this trait so both
-/// evaluations run the identical path-finding code.
+/// A probing backend for Algorithm 1. Every [`PaymentNetwork`] — the
+/// simulator, the TCP testbed — gets this for free via the blanket impl
+/// below, so both evaluations run the identical path-finding code;
+/// standalone impls (snapshot probers in benches, mocks in tests) remain
+/// possible for harnesses that are not full payment networks.
 pub trait PathProber {
     /// Probes every channel on `path`, sender → receiver order. `None`
     /// means the probe was lost (fault injection / transport failure).
     fn probe_path_channels(&mut self, path: &Path) -> Option<Vec<ProbedChannel>>;
 }
 
-impl PathProber for Network {
+impl<N: PaymentNetwork> PathProber for N {
     fn probe_path_channels(&mut self, path: &Path) -> Option<Vec<ProbedChannel>> {
         let report = self.probe_path(path)?;
         Some(
@@ -78,8 +80,8 @@ pub struct ElephantPlan {
 /// "no paths at all" from "insufficient max-flow" and so the Figure 10
 /// sweep can measure partial capability. Callers enforce
 /// `plan.max_flow ≥ demand` for the accept/reject decision.
-pub fn find_paths(
-    net: &mut Network,
+pub fn find_paths<N: PaymentNetwork>(
+    net: &mut N,
     s: NodeId,
     t: NodeId,
     demand: Amount,
@@ -208,6 +210,7 @@ pub fn oracle_max_flow(graph: &DiGraph, plan: &ElephantPlan, s: NodeId, t: NodeI
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcn_sim::Network;
     use pcn_types::PaymentClass;
     use pcn_types::{Payment, TxId};
 

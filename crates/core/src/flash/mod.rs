@@ -17,7 +17,7 @@ pub mod elephant;
 pub mod fees;
 pub mod mice;
 
-use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
 use pcn_types::{Amount, Payment, PaymentClass};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,9 +98,9 @@ impl FlashRouter {
     /// Figure 11 `m = 0` configuration routes mice this way too (the
     /// paper's "performance upperbound" baseline) — metrics then still
     /// attribute the payment to the mice class.
-    fn route_elephant(
+    fn route_elephant<N: PaymentNetwork>(
         &mut self,
-        net: &mut Network,
+        net: &mut N,
         payment: &Payment,
         class: PaymentClass,
     ) -> RouteOutcome {
@@ -112,14 +112,12 @@ impl FlashRouter {
             self.config.max_elephant_paths,
         );
         if plan.paths.is_empty() {
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::NoRoute);
         }
         if plan.max_flow < payment.amount {
             // Algorithm 1 line 28: demand unsatisfiable over ≤ k paths.
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }
         let Some(parts) = fees::split_payment(
@@ -128,19 +126,13 @@ impl FlashRouter {
             payment.amount,
             self.config.optimize_fees,
         ) else {
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         };
         let mut session = net.begin_payment(payment, class);
-        for (path, amount) in &parts {
-            if amount.is_zero() {
-                continue;
-            }
-            if session.try_send_part(path, *amount).is_err() {
-                session.abort();
-                return RouteOutcome::failure(FailureReason::InsufficientCapacity);
-            }
+        if session.try_send_parts(&parts).is_err() {
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }
         if !session.is_satisfied() {
             session.abort();
@@ -150,15 +142,14 @@ impl FlashRouter {
     }
 
     /// Routes a mice payment via the routing table + trial-and-error.
-    fn route_mice(&mut self, net: &mut Network, payment: &Payment) -> RouteOutcome {
+    fn route_mice<N: PaymentNetwork>(&mut self, net: &mut N, payment: &Payment) -> RouteOutcome {
         self.clock += 1;
         self.table.evict_stale(self.clock);
         let paths =
             self.table
                 .lookup_or_compute(net.graph(), payment.sender, payment.receiver, self.clock);
         if paths.is_empty() {
-            let session = net.begin_payment(payment, PaymentClass::Mice);
-            session.abort();
+            net.record_rejected_attempt(payment, PaymentClass::Mice);
             return RouteOutcome::failure(FailureReason::NoRoute);
         }
         // Random path order: "Instead of following a fixed order ...
@@ -223,12 +214,12 @@ fn partial_shuffle(xs: &mut [usize], rng: &mut StdRng) {
     }
 }
 
-impl Router for FlashRouter {
+impl<N: PaymentNetwork> Router<N> for FlashRouter {
     fn name(&self) -> &'static str {
         "Flash"
     }
 
-    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+    fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         match class {
             PaymentClass::Elephant => self.route_elephant(net, payment, class),
             // The m = 0 configuration routes mice with the elephant
@@ -240,7 +231,7 @@ impl Router for FlashRouter {
         }
     }
 
-    fn on_topology_refresh(&mut self, net: &Network) {
+    fn on_topology_refresh(&mut self, net: &N) {
         // "The routing table is periodically refreshed when the local
         // network topology G is updated ... all entries are re-computed
         // using the latest G."
@@ -252,6 +243,7 @@ impl Router for FlashRouter {
 mod tests {
     use super::*;
     use pcn_graph::DiGraph;
+    use pcn_sim::Network;
     use pcn_types::{NodeId, TxId};
 
     fn n(i: u32) -> NodeId {

@@ -1,8 +1,8 @@
 //! Channel rebalancing (Revive-style) — an extension.
 //!
 //! §6 of the paper discusses Revive (Khalil & Gervais, CCS 2017), which
-//! "take[s] the dynamic channel balances into consideration and
-//! propose[s] centralized offline routing algorithms" to rebalance
+//! "take\[s\] the dynamic channel balances into consideration and
+//! propose\[s\] centralized offline routing algorithms" to rebalance
 //! offchain channels, and §4.2 observes the failure mode rebalancing
 //! addresses: "as more payments especially elephant payments are
 //! accepted, channels are easier to be saturated in one direction."

@@ -6,7 +6,7 @@
 //! channel on the path holds the whole demand.
 
 use pcn_graph::bfs;
-use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_sim::{FailureReason, PaymentNetwork, RouteOutcome, Router};
 use pcn_types::{Payment, PaymentClass};
 
 /// The fewest-hops single-path baseline router.
@@ -20,16 +20,15 @@ impl ShortestPathRouter {
     }
 }
 
-impl Router for ShortestPathRouter {
+impl<N: PaymentNetwork> Router<N> for ShortestPathRouter {
     fn name(&self) -> &'static str {
         "Shortest Path"
     }
 
-    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+    fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         let Some(path) = bfs::shortest_path(net.graph(), payment.sender, payment.receiver) else {
             // Record the attempt for fair success-ratio accounting.
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::NoRoute);
         };
         net.send_single_path(payment, class, &path)
@@ -40,6 +39,7 @@ impl Router for ShortestPathRouter {
 mod tests {
     use super::*;
     use pcn_graph::DiGraph;
+    use pcn_sim::Network;
     use pcn_types::{Amount, NodeId, TxId};
 
     fn n(i: u32) -> NodeId {

@@ -15,9 +15,10 @@
 //! `sender → l → receiver` along the concatenated tree paths. Static:
 //! no probing; a share fails on the first under-funded hop.
 
+use crate::speedymurmurs::split_evenly;
 use pcn_graph::{bfs, DiGraph, Path};
-use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
-use pcn_types::{Amount, NodeId, Payment, PaymentClass};
+use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
+use pcn_types::{NodeId, Payment, PaymentClass};
 
 /// The SilentWhispers landmark-centered router.
 #[derive(Clone, Debug)]
@@ -126,47 +127,31 @@ impl SilentWhispersRouter {
     }
 }
 
-impl Router for SilentWhispersRouter {
+impl<N: PaymentNetwork> Router<N> for SilentWhispersRouter {
     fn name(&self) -> &'static str {
         "SilentWhispers"
     }
 
-    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+    fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         self.ensure_trees(net.graph());
         let routes: Vec<Path> = (0..self.landmarks.len())
             .filter_map(|i| self.landmark_route(i, payment.sender, payment.receiver))
             .collect();
         if routes.is_empty() {
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::NoRoute);
         }
-        let k = routes.len() as u64;
-        let base = payment.amount.micros() / k;
-        let mut rem = payment.amount.micros() % k;
+        let parts = split_evenly(routes, payment.amount);
         let mut session = net.begin_payment(payment, class);
-        for p in &routes {
-            let mut share = base;
-            if rem > 0 {
-                share += 1;
-                rem -= 1;
-            }
-            if share == 0 {
-                continue;
-            }
-            if session
-                .try_send_part(p, Amount::from_micros(share))
-                .is_err()
-            {
-                session.abort();
-                return RouteOutcome::failure(FailureReason::InsufficientCapacity);
-            }
+        if session.try_send_parts(&parts).is_err() {
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }
         debug_assert!(session.is_satisfied());
         session.commit()
     }
 
-    fn on_topology_refresh(&mut self, _net: &Network) {
+    fn on_topology_refresh(&mut self, _net: &N) {
         self.ready = false;
     }
 }
@@ -175,7 +160,8 @@ impl Router for SilentWhispersRouter {
 mod tests {
     use super::*;
     use pcn_graph::generators;
-    use pcn_types::TxId;
+    use pcn_sim::Network;
+    use pcn_types::{Amount, TxId};
 
     fn n(i: u32) -> NodeId {
         NodeId(i)

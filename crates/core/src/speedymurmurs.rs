@@ -15,7 +15,7 @@
 //! then reversed (atomicity).
 
 use pcn_graph::{bfs, DiGraph, Path};
-use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
 use pcn_types::{Amount, NodeId, Payment, PaymentClass};
 
 /// Per-landmark prefix-embedding coordinates.
@@ -138,12 +138,12 @@ impl SpeedyMurmursRouter {
     }
 }
 
-impl Router for SpeedyMurmursRouter {
+impl<N: PaymentNetwork> Router<N> for SpeedyMurmursRouter {
     fn name(&self) -> &'static str {
         "SpeedyMurmurs"
     }
 
-    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+    fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         self.ensure_embeddings(net.graph());
         let g = net.graph().clone();
         let routes: Vec<Path> = self
@@ -152,46 +152,49 @@ impl Router for SpeedyMurmursRouter {
             .filter_map(|emb| self.greedy_route(&g, emb, payment.sender, payment.receiver))
             .collect();
         if routes.is_empty() {
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::NoRoute);
         }
-        // Split the demand evenly over the available trees (remainder
-        // goes one micro-unit at a time to the first shares).
-        let k = routes.len() as u64;
-        let base = payment.amount.micros() / k;
-        let mut rem = payment.amount.micros() % k;
+        let parts = split_evenly(routes, payment.amount);
         let mut session = net.begin_payment(payment, class);
-        for p in &routes {
-            let mut share = base;
-            if rem > 0 {
-                share += 1;
-                rem -= 1;
-            }
-            if share == 0 {
-                continue;
-            }
-            if session
-                .try_send_part(p, Amount::from_micros(share))
-                .is_err()
-            {
-                session.abort();
-                return RouteOutcome::failure(FailureReason::InsufficientCapacity);
-            }
+        if session.try_send_parts(&parts).is_err() {
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }
         debug_assert!(session.is_satisfied());
         session.commit()
     }
 
-    fn on_topology_refresh(&mut self, _net: &Network) {
+    fn on_topology_refresh(&mut self, _net: &N) {
         self.ready = false;
         self.embeddings.clear();
     }
 }
 
+/// Splits `amount` evenly over `routes` (remainder goes one micro-unit
+/// at a time to the first shares) — the landmark-share split both tree
+/// schemes use.
+pub(crate) fn split_evenly(routes: Vec<Path>, amount: Amount) -> Vec<(Path, Amount)> {
+    let k = routes.len() as u64;
+    let base = amount.micros() / k;
+    let mut rem = amount.micros() % k;
+    routes
+        .into_iter()
+        .map(|p| {
+            let mut share = base;
+            if rem > 0 {
+                share += 1;
+                rem -= 1;
+            }
+            (p, Amount::from_micros(share))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcn_sim::Network;
     use pcn_types::TxId;
 
     fn n(i: u32) -> NodeId {

@@ -10,7 +10,7 @@
 //! measures), waterfills the demand across them, and sends atomically.
 
 use pcn_graph::{disjoint, Path};
-use pcn_sim::{FailureReason, Network, RouteOutcome, Router};
+use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
 use pcn_types::{Amount, Payment, PaymentClass};
 
 /// The Spider waterfilling router.
@@ -96,12 +96,12 @@ pub fn waterfill(capacities: &[Amount], demand: Amount) -> Option<Vec<Amount>> {
     Some(alloc)
 }
 
-impl Router for SpiderRouter {
+impl<N: PaymentNetwork> Router<N> for SpiderRouter {
     fn name(&self) -> &'static str {
         "Spider"
     }
 
-    fn route(&mut self, net: &mut Network, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+    fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
         let paths: Vec<Path> = disjoint::edge_disjoint_paths(
             net.graph(),
             payment.sender,
@@ -109,33 +109,26 @@ impl Router for SpiderRouter {
             self.num_paths,
         );
         if paths.is_empty() {
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::NoRoute);
         }
         // Probe every path — Spider "treats mice and elephant flows the
-        // same and always uses 4 shortest paths" (§4.2).
-        let mut capacities = Vec::with_capacity(paths.len());
-        for p in &paths {
-            match net.probe_path(p) {
-                Some(report) => capacities.push(report.bottleneck()),
-                None => capacities.push(Amount::ZERO),
-            }
-        }
+        // same and always uses 4 shortest paths" (§4.2). `probe_paths`
+        // lets message-passing backends probe them concurrently.
+        let capacities: Vec<Amount> = net
+            .probe_paths(&paths)
+            .into_iter()
+            .map(|report| report.map_or(Amount::ZERO, |r| r.bottleneck()))
+            .collect();
         let Some(alloc) = waterfill(&capacities, payment.amount) else {
-            let session = net.begin_payment(payment, class);
-            session.abort();
+            net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         };
+        let parts: Vec<(Path, Amount)> = paths.into_iter().zip(alloc).collect();
         let mut session = net.begin_payment(payment, class);
-        for (p, amt) in paths.iter().zip(&alloc) {
-            if amt.is_zero() {
-                continue;
-            }
-            if session.try_send_part(p, *amt).is_err() {
-                session.abort();
-                return RouteOutcome::failure(FailureReason::InsufficientCapacity);
-            }
+        if session.try_send_parts(&parts).is_err() {
+            session.abort();
+            return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }
         debug_assert!(session.is_satisfied());
         session.commit()
@@ -146,6 +139,7 @@ impl Router for SpiderRouter {
 mod tests {
     use super::*;
     use pcn_graph::DiGraph;
+    use pcn_sim::Network;
     use pcn_types::{NodeId, TxId};
     use proptest::prelude::*;
 

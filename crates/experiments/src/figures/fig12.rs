@@ -4,7 +4,7 @@ use super::testbed::run_testbed;
 use crate::harness::Effort;
 use crate::report::FigureResult;
 
-/// Regenerates Figures 12a–12d.
+/// Regenerates Figures 12a–12d, plus the message-overhead panel 12e.
 pub fn run(effort: Effort) -> Vec<FigureResult> {
     let nodes = match effort {
         Effort::Quick => 20,
@@ -20,9 +20,9 @@ mod tests {
     #[test]
     fn testbed_panels_have_all_schemes() {
         let figs = run(Effort::Quick);
-        assert_eq!(figs.len(), 4);
+        assert_eq!(figs.len(), 5);
         for fig in &figs {
-            assert_eq!(fig.series.len(), 3);
+            assert_eq!(fig.series.len(), 5, "{}: all five schemes", fig.id);
             for s in &fig.series {
                 assert_eq!(s.points.len(), 3, "{}/{}", fig.id, s.label);
             }
@@ -40,6 +40,15 @@ mod tests {
         for i in 0..3 {
             let sp = delay.series("SP").unwrap().y_at(i as f64).unwrap();
             assert!((sp - 1.0).abs() < 1e-6);
+        }
+        // Message breakdown: the static schemes send commit traffic but
+        // never probe, so probing schemes must out-message SP.
+        let msgs = &figs[4];
+        for i in 0..3 {
+            let f = msgs.series("Flash").unwrap().y_at(i as f64).unwrap();
+            let sp = msgs.series("SP").unwrap().y_at(i as f64).unwrap();
+            assert!(sp > 0.0, "SP sends commit messages");
+            assert!(f >= sp, "interval {i}: Flash messages {f} < SP {sp}");
         }
     }
 }

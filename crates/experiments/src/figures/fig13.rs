@@ -4,7 +4,7 @@ use super::testbed::run_testbed;
 use crate::harness::Effort;
 use crate::report::FigureResult;
 
-/// Regenerates Figures 13a–13d.
+/// Regenerates Figures 13a–13d, plus the message-overhead panel 13e.
 pub fn run(effort: Effort) -> Vec<FigureResult> {
     let nodes = match effort {
         Effort::Quick => 30,
@@ -20,10 +20,11 @@ mod tests {
     #[test]
     fn hundred_node_variant_runs() {
         let figs = run(Effort::Quick);
-        assert_eq!(figs.len(), 4);
+        assert_eq!(figs.len(), 5);
         assert_eq!(figs[0].id, "fig13a");
-        // All schemes produced data for every interval.
+        // All five schemes produced data for every interval.
         for fig in &figs {
+            assert_eq!(fig.series.len(), 5);
             for s in &fig.series {
                 assert_eq!(s.points.len(), 3);
             }

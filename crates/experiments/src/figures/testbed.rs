@@ -1,4 +1,11 @@
 //! Shared driver for the testbed experiments (Figures 12 and 13).
+//!
+//! Every scheme routes through the same `flash-core` [`pcn_sim::Router`]
+//! implementations the simulator uses, via the
+//! [`pcn_sim::PaymentNetwork`] impl for [`Cluster`] — so the testbed
+//! sweep now covers all five schemes (the paper's §5.2 ran three) and
+//! reports the probe/commit message breakdown alongside the delay
+//! panels.
 
 use crate::harness::Effort;
 use crate::report::{FigureResult, Series};
@@ -11,21 +18,19 @@ use pcn_workload::trace::{generate_trace, TraceConfig};
 /// The three capacity intervals of §5.2, USD.
 pub const CAPACITY_INTERVALS: [(u64, u64); 3] = [(1000, 1500), (1500, 2000), (2000, 2500)];
 
-/// The schemes the testbed compares.
-pub const SCHEMES: [SchemeKind; 3] = [
-    SchemeKind::Flash,
-    SchemeKind::Spider,
-    SchemeKind::ShortestPath,
-];
+/// The schemes the testbed compares — all five, SP first so the delay
+/// panels can normalize against it.
+pub const SCHEMES: [SchemeKind; 5] = SchemeKind::ALL;
 
 /// Runs the full §5 testbed experiment for a node count, producing the
-/// four panels (success volume, success ratio, normalized overall
-/// delay, normalized mice delay).
+/// four panels of the paper (success volume, success ratio, normalized
+/// overall delay, normalized mice delay) plus a message-overhead panel
+/// (probe + commit messages, the Fig. 9-style breakdown).
 pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<FigureResult> {
     let txns = match effort {
         Effort::Quick => 60,
         // The paper uses 10,000; 1,000 keeps the full sweep (3 intervals
-        // × 3 schemes × real TCP) tractable while preserving shape.
+        // × 5 schemes × real TCP) tractable while preserving shape.
         Effort::Paper => 1000,
     };
     let mut fig_vol = FigureResult::new(
@@ -52,11 +57,18 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
         "capacity interval index",
         "mice delay normalized to SP",
     );
+    let mut fig_messages = FigureResult::new(
+        format!("{fig_prefix}e"),
+        format!("Testbed message overhead, {nodes} nodes"),
+        "capacity interval index",
+        "probe + commit messages",
+    );
     for scheme in SCHEMES {
         fig_vol.series.push(Series::new(scheme.name()));
         fig_ratio.series.push(Series::new(scheme.name()));
         fig_delay.series.push(Series::new(scheme.name()));
         fig_mice_delay.series.push(Series::new(scheme.name()));
+        fig_messages.series.push(Series::new(scheme.name()));
     }
 
     for (i, &(lo, hi)) in CAPACITY_INTERVALS.iter().enumerate() {
@@ -68,12 +80,10 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
         let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
         let threshold = threshold_for_mice_fraction(&amounts, 0.9);
 
+        // SCHEMES runs SP first, which seeds the delay normalization.
         let mut sp_delay = 1.0f64;
         let mut sp_mice_delay = 1.0f64;
-        // SP runs last in SCHEMES? No — run SP first to normalize.
-        let mut order: Vec<SchemeKind> = SCHEMES.to_vec();
-        order.rotate_left(2); // [SP, Flash, Spider]
-        for scheme in order {
+        for scheme in SCHEMES {
             let topo = testbed_topology(nodes, lo, hi, seed);
             let graph = topo.graph().clone();
             let balances: Vec<Amount> = graph.edges().map(|(e, _, _)| topo.balance(e)).collect();
@@ -111,7 +121,13 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
                 .find(|s| s.label == label)
                 .unwrap()
                 .push(x, mice_delay_us / sp_mice_delay);
+            fig_messages
+                .series
+                .iter_mut()
+                .find(|s| s.label == label)
+                .unwrap()
+                .push(x, report.total_messages() as f64);
         }
     }
-    vec![fig_vol, fig_ratio, fig_delay, fig_mice_delay]
+    vec![fig_vol, fig_ratio, fig_delay, fig_mice_delay, fig_messages]
 }

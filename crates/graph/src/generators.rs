@@ -97,6 +97,10 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> DiGraph {
                 targets.insert(t);
             }
         }
+        // Sort: HashSet iteration order is randomized per process, and
+        // the push order below determines future preferential draws.
+        let mut targets: Vec<usize> = targets.into_iter().collect();
+        targets.sort_unstable();
         for t in targets {
             channels.insert(key(u, t));
             ends.push(u);
@@ -141,6 +145,10 @@ pub fn scale_free_with_channels(n: usize, target_channels: usize, seed: u64) -> 
                 targets.insert(t);
             }
         }
+        // Sort: HashSet iteration order is randomized per process, and
+        // the push order below determines future preferential draws.
+        let mut targets: Vec<usize> = targets.into_iter().collect();
+        targets.sort_unstable();
         for t in targets {
             channels.insert(key(u, t));
             ends.push(u);

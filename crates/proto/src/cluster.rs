@@ -1,30 +1,33 @@
-//! Cluster orchestration and sender-side routing schemes.
+//! Cluster orchestration and the testbed experiment driver.
 //!
-//! [`Cluster::launch`] spins up one TCP-backed [`Node`](crate::node::Node)
-//! per participant; [`TestbedRunner`] then drives a transaction trace
-//! through one of the three schemes the testbed evaluates (§5.2): Flash,
-//! Spider, and Shortest Path, measuring per-transaction processing delay
-//! (Figures 12c/d and 13c/d), success volume and ratio (a/b panels).
+//! [`Cluster::launch`] spins up one TCP-backed [`Node`] per
+//! participant. The cluster implements
+//! [`pcn_sim::PaymentNetwork`] (see [`crate::backend`]), so the *same*
+//! [`Router`] implementations the simulator uses — all five schemes —
+//! route on it unmodified; [`TestbedRunner`] merely drives a transaction
+//! trace through one router and measures per-transaction processing
+//! delay (Figures 12c/d and 13c/d), success volume and ratio (a/b
+//! panels), and the probe/commit message breakdown.
 
 use crate::fault::FaultPlan;
 use crate::node::Node;
 use crate::transport::ConnPool;
 use crate::wire::{Message, MsgType};
-use flash_core::flash::elephant::{self, PathProber, ProbedChannel};
-use flash_core::flash::fees;
-use flash_core::flash::mice::RoutingTable;
-use flash_core::spider::waterfill;
-use pcn_graph::{bfs, disjoint, DiGraph, Path};
+use flash_core::{
+    FlashConfig, FlashRouter, ShortestPathRouter, SilentWhispersRouter, SpeedyMurmursRouter,
+    SpiderRouter,
+};
+use pcn_graph::{DiGraph, EdgeId, Path};
+use pcn_sim::{RouteOutcome, Router};
 use pcn_types::{Amount, FeePolicy, NodeId, Payment, PaymentClass, PcnError, Result};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Which routing scheme the testbed runner drives.
+/// Which routing scheme the testbed runner drives. All five schemes run
+/// through the same [`Router`] implementations as the §4 simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchemeKind {
     /// Flash (elephant/mice differentiation; k = 20, m = 4 defaults).
@@ -33,24 +36,67 @@ pub enum SchemeKind {
     Spider,
     /// Single fewest-hops path.
     ShortestPath,
+    /// SpeedyMurmurs (3 landmark prefix embeddings, greedy shortcuts).
+    SpeedyMurmurs,
+    /// SilentWhispers (3 landmarks, landmark-centered tree routing).
+    SilentWhispers,
 }
 
 impl SchemeKind {
+    /// Every scheme, in the order the testbed figures list them.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::ShortestPath,
+        SchemeKind::Flash,
+        SchemeKind::Spider,
+        SchemeKind::SpeedyMurmurs,
+        SchemeKind::SilentWhispers,
+    ];
+
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
             SchemeKind::Flash => "Flash",
             SchemeKind::Spider => "Spider",
             SchemeKind::ShortestPath => "SP",
+            SchemeKind::SpeedyMurmurs => "SpeedyMurmurs",
+            SchemeKind::SilentWhispers => "SilentWhispers",
+        }
+    }
+
+    /// Instantiates the scheme's router for the testbed backend — the
+    /// identical `flash-core` implementation the simulator runs.
+    pub fn router(self, elephant_threshold: Amount, seed: u64) -> Box<dyn Router<Cluster>> {
+        match self {
+            SchemeKind::Flash => Box::new(FlashRouter::new(FlashConfig {
+                elephant_threshold,
+                seed,
+                ..Default::default()
+            })),
+            SchemeKind::Spider => Box::new(SpiderRouter::new()),
+            SchemeKind::ShortestPath => Box::new(ShortestPathRouter::new()),
+            SchemeKind::SpeedyMurmurs => Box::new(SpeedyMurmursRouter::new()),
+            SchemeKind::SilentWhispers => Box::new(SilentWhispersRouter::new()),
         }
     }
 }
 
 /// A running cluster of TCP nodes.
+///
+/// Beyond the raw wire operations ([`Cluster::probe`],
+/// [`Cluster::commit_part`], ...), the cluster implements
+/// [`pcn_sim::PaymentNetwork`] (in [`crate::backend`]) so any
+/// [`Router`] drives it exactly like the in-memory simulator.
 pub struct Cluster {
     graph: DiGraph,
     nodes: Vec<Arc<Node>>,
     timeout: Duration,
+    /// Sender-side fee policies per directed edge. The wire protocol
+    /// carries no fee field, so — like the topology file every prototype
+    /// node reads at launch — fee policies are local knowledge, reported
+    /// through probes for the fee-minimizing LP.
+    fees: Vec<FeePolicy>,
+    /// Allocator for wire transaction ids (probes and sub-payments).
+    next_trans_id: AtomicU64,
 }
 
 impl Cluster {
@@ -96,10 +142,13 @@ impl Cluster {
             let (node, _handle) = Node::serve(id as u32, listener, addr, pool, node_balances);
             nodes.push(node);
         }
+        let fees = vec![FeePolicy::FREE; graph.edge_count()];
         Ok(Cluster {
             graph,
             nodes,
             timeout: Duration::from_secs(10),
+            fees,
+            next_trans_id: AtomicU64::new(1),
         })
     }
 
@@ -107,6 +156,26 @@ impl Cluster {
     /// tests lower this so dropped messages fail fast.
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// Installs sender-side fee policies, indexed by [`EdgeId`]
+    /// (defaults to free). Probes report these, so the Flash fee LP
+    /// optimizes real fees on the testbed.
+    pub fn set_fee_policies(&mut self, fees: Vec<FeePolicy>) -> Result<()> {
+        if fees.len() != self.graph.edge_count() {
+            return Err(PcnError::InvalidConfig(format!(
+                "fee table has {} entries for {} edges",
+                fees.len(),
+                self.graph.edge_count()
+            )));
+        }
+        self.fees = fees;
+        Ok(())
+    }
+
+    /// Fee policy of a directed edge (sender-side knowledge).
+    pub fn fee_policy(&self, e: EdgeId) -> FeePolicy {
+        self.fees[e.index()]
     }
 
     /// The shared topology (the file every prototype node "reads ... at
@@ -136,6 +205,11 @@ impl Cluster {
             .sum()
     }
 
+    /// Allocates a fresh wire transaction id.
+    pub fn fresh_trans_id(&self) -> u64 {
+        self.next_trans_id.fetch_add(1, Ordering::Relaxed)
+    }
+
     fn sender_node(&self, path: &Path) -> &Arc<Node> {
         &self.nodes[path.source().index()]
     }
@@ -159,19 +233,32 @@ impl Cluster {
     /// Phase-1 commit of a sub-payment. `true` on `COMMIT_ACK`; on
     /// `COMMIT_NACK` every escrowed hop has already been rolled back.
     pub fn commit_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
+        self.commit_part_located(trans_id, path, amount).is_ok()
+    }
+
+    /// Phase-1 commit reporting *where* a failed part NACKed: `Err(h)`
+    /// means hop `h` (0 = first channel) lacked balance. A timed-out
+    /// reply (lossy transport) reports hop 0 — the wire carries no
+    /// better information in that case.
+    pub fn commit_part_located(
+        &self,
+        trans_id: u64,
+        path: &Path,
+        amount: Amount,
+    ) -> std::result::Result<(), usize> {
         let node = self.sender_node(path);
         let mut msg = Message::new(trans_id, MsgType::Commit, Self::path_ids(path));
         msg.commit = amount.micros();
         let rx = node.start_request(msg);
         let reply = rx.recv_timeout(self.timeout).ok();
         node.finish_request(trans_id);
-        matches!(
-            reply,
-            Some(Message {
-                msg_type: MsgType::CommitAck,
-                ..
-            })
-        )
+        match reply {
+            Some(m) if m.msg_type == MsgType::CommitAck => Ok(()),
+            // The NACK's path is the reversed prefix up to (and
+            // including) the node that refused: its length names the hop.
+            Some(m) if m.msg_type == MsgType::CommitNack => Err(m.path.len().saturating_sub(1)),
+            _ => Err(0),
+        }
     }
 
     /// Phase-2 confirmation of a committed sub-payment (credits the
@@ -228,33 +315,6 @@ impl Drop for Cluster {
     }
 }
 
-/// Probing adapter: Algorithm 1 in [`flash_core`] works against this via
-/// the [`PathProber`] trait, so the testbed runs the *same* path-finding
-/// code as the simulator.
-struct ClusterProber<'a> {
-    cluster: &'a Cluster,
-    next_id: u64,
-}
-
-impl PathProber for ClusterProber<'_> {
-    fn probe_path_channels(&mut self, path: &Path) -> Option<Vec<ProbedChannel>> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let caps = self.cluster.probe(id, path)?;
-        Some(
-            caps.into_iter()
-                .map(|c| ProbedChannel {
-                    capacity: Amount::from_micros(c),
-                    // The testbed measures delay, not fees; probes do not
-                    // carry fee or reverse-direction info on this wire.
-                    fee: FeePolicy::FREE,
-                    reverse_capacity: None,
-                })
-                .collect(),
-        )
-    }
-}
-
 /// Per-scheme testbed statistics (one (scheme, capacity-interval) cell
 /// of Figures 12/13).
 #[derive(Clone, Debug, Default)]
@@ -273,6 +333,12 @@ pub struct TestbedReport {
     pub mice_count: u64,
     /// Probe messages processed cluster-wide.
     pub probe_messages: u64,
+    /// Commit messages processed cluster-wide — with probes, the Fig.
+    /// 9-style message breakdown the sim `Metrics` also reports.
+    pub commit_messages: u64,
+    /// Total fees charged on successful payments (sender-side fee
+    /// policies; zero unless [`Cluster::set_fee_policies`] was called).
+    pub fees_paid: Amount,
 }
 
 impl TestbedReport {
@@ -302,42 +368,55 @@ impl TestbedReport {
             self.mice_delay / self.mice_count as u32
         }
     }
+
+    /// Total messages (probe + commit phases) processed cluster-wide.
+    pub fn total_messages(&self) -> u64 {
+        self.probe_messages + self.commit_messages
+    }
 }
 
-/// Drives a trace through one scheme on a [`Cluster`].
+/// Drives a trace through one router on a [`Cluster`].
+///
+/// The runner contains **no routing logic of its own**: the router is a
+/// stock `flash-core` implementation working through the
+/// [`pcn_sim::PaymentNetwork`] trait, so the testbed measures the very
+/// same code path the simulator evaluates — including Flash's elephant
+/// fee LP and mice table, which the previous hand-rolled runner
+/// re-implemented.
 pub struct TestbedRunner {
     cluster: Cluster,
-    scheme: SchemeKind,
-    /// Elephant/mice threshold (Flash only; others record class for
-    /// reporting).
+    router: Box<dyn Router<Cluster>>,
+    /// Elephant/mice threshold used by [`TestbedRunner::run_trace`] to
+    /// classify payments (set so 90% are mice, as in §5.2).
     pub elephant_threshold: Amount,
-    /// Flash elephant path budget.
-    pub k: usize,
-    /// Flash mice paths per receiver.
-    pub m: usize,
-    table: RoutingTable,
-    rng: StdRng,
-    next_part_id: u64,
 }
 
 impl TestbedRunner {
-    /// Creates a runner. `elephant_threshold` classifies payments (set
-    /// so 90% are mice, as in §5.2).
+    /// Creates a runner for one of the stock schemes.
     pub fn new(
         cluster: Cluster,
         scheme: SchemeKind,
         elephant_threshold: Amount,
         seed: u64,
     ) -> Self {
+        Self::with_router(
+            cluster,
+            scheme.router(elephant_threshold, seed),
+            elephant_threshold,
+        )
+    }
+
+    /// Creates a runner driving a custom [`Router`] — any implementation
+    /// generic over [`pcn_sim::PaymentNetwork`] plugs in here.
+    pub fn with_router(
+        cluster: Cluster,
+        router: Box<dyn Router<Cluster>>,
+        elephant_threshold: Amount,
+    ) -> Self {
         TestbedRunner {
             cluster,
-            scheme,
+            router,
             elephant_threshold,
-            k: 20,
-            m: 4,
-            table: RoutingTable::new(4, u64::MAX),
-            rng: StdRng::seed_from_u64(seed),
-            next_part_id: 1,
         }
     }
 
@@ -346,10 +425,9 @@ impl TestbedRunner {
         &self.cluster
     }
 
-    fn fresh_id(&mut self) -> u64 {
-        let id = self.next_part_id;
-        self.next_part_id += 1;
-        id
+    /// The router's scheme name.
+    pub fn scheme_name(&self) -> &'static str {
+        self.router.name()
     }
 
     /// Routes an entire trace, accumulating the report.
@@ -358,7 +436,7 @@ impl TestbedRunner {
         for p in trace {
             let class = p.classify(self.elephant_threshold);
             let start = Instant::now();
-            let ok = self.route_one(p, class);
+            let outcome = self.route_outcome(p, class);
             let elapsed = start.elapsed();
             report.attempted += 1;
             report.total_delay += elapsed;
@@ -366,192 +444,25 @@ impl TestbedRunner {
                 report.mice_count += 1;
                 report.mice_delay += elapsed;
             }
-            if ok {
+            if let RouteOutcome::Success { volume, fees, .. } = outcome {
                 report.succeeded += 1;
-                report.success_volume = report.success_volume.saturating_add(p.amount);
+                report.success_volume = report.success_volume.saturating_add(volume);
+                report.fees_paid = report.fees_paid.saturating_add(fees);
             }
         }
         report.probe_messages = self.cluster.probe_messages();
+        report.commit_messages = self.cluster.commit_messages();
         report
     }
 
     /// Routes one payment; returns success.
     pub fn route_one(&mut self, payment: &Payment, class: PaymentClass) -> bool {
-        match self.scheme {
-            SchemeKind::ShortestPath => self.route_sp(payment),
-            SchemeKind::Spider => self.route_spider(payment),
-            SchemeKind::Flash => match class {
-                PaymentClass::Elephant => self.route_flash_elephant(payment),
-                PaymentClass::Mice => self.route_flash_mice(payment),
-            },
-        }
+        self.route_outcome(payment, class).is_success()
     }
 
-    /// Commits all `parts` **concurrently** (the paper's prototype
-    /// "prepares a COMMIT message for each of the sub-payment and sends
-    /// them out" before waiting); on full success confirms them all,
-    /// otherwise reverses whatever committed. Returns overall success.
-    fn two_phase(&mut self, parts: &[(Path, Amount)]) -> bool {
-        let live: Vec<(u64, &Path, Amount)> = parts
-            .iter()
-            .filter(|(_, a)| !a.is_zero())
-            .map(|(p, a)| (self.fresh_id(), p, *a))
-            .collect();
-        let cluster = &self.cluster;
-        let results: Vec<bool> = std::thread::scope(|s| {
-            let handles: Vec<_> = live
-                .iter()
-                .map(|(id, path, amount)| s.spawn(move || cluster.commit_part(*id, path, *amount)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        let all_ok = results.iter().all(|&ok| ok);
-        // Phase 2, also concurrent per sub-payment.
-        std::thread::scope(|s| {
-            for ((id, path, amount), ok) in live.iter().zip(&results) {
-                if *ok {
-                    if all_ok {
-                        s.spawn(move || cluster.confirm_part(*id, path, *amount));
-                    } else {
-                        s.spawn(move || cluster.reverse_part(*id, path, *amount));
-                    }
-                }
-            }
-        });
-        all_ok
-    }
-
-    fn route_sp(&mut self, payment: &Payment) -> bool {
-        let Some(path) = bfs::shortest_path(self.cluster.graph(), payment.sender, payment.receiver)
-        else {
-            return false;
-        };
-        self.two_phase(&[(path, payment.amount)])
-    }
-
-    fn route_spider(&mut self, payment: &Payment) -> bool {
-        let paths = disjoint::edge_disjoint_paths(
-            self.cluster.graph(),
-            payment.sender,
-            payment.receiver,
-            4,
-        );
-        if paths.is_empty() {
-            return false;
-        }
-        // Spider probes all its paths for every payment — concurrently,
-        // as the prototype's sender would.
-        let ids: Vec<u64> = paths.iter().map(|_| self.fresh_id()).collect();
-        let cluster = &self.cluster;
-        let caps: Vec<Amount> = std::thread::scope(|s| {
-            let handles: Vec<_> = paths
-                .iter()
-                .zip(&ids)
-                .map(|(p, id)| {
-                    s.spawn(move || {
-                        cluster
-                            .probe(*id, p)
-                            .and_then(|c| c.into_iter().min())
-                            .unwrap_or(0)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| Amount::from_micros(h.join().unwrap()))
-                .collect()
-        });
-        let Some(alloc) = waterfill(&caps, payment.amount) else {
-            return false;
-        };
-        let parts: Vec<(Path, Amount)> = paths.into_iter().zip(alloc).collect();
-        self.two_phase(&parts)
-    }
-
-    fn route_flash_elephant(&mut self, payment: &Payment) -> bool {
-        let graph = self.cluster.graph().clone();
-        let mut prober = ClusterProber {
-            cluster: &self.cluster,
-            next_id: self.next_part_id,
-        };
-        let plan = elephant::find_paths_with(
-            &graph,
-            &mut prober,
-            payment.sender,
-            payment.receiver,
-            payment.amount,
-            self.k,
-        );
-        self.next_part_id = prober.next_id;
-        if plan.paths.is_empty() || plan.max_flow < payment.amount {
-            return false;
-        }
-        let Some(parts) = fees::split_payment(&graph, &plan, payment.amount, true) else {
-            return false;
-        };
-        self.two_phase(&parts)
-    }
-
-    fn route_flash_mice(&mut self, payment: &Payment) -> bool {
-        let graph = self.cluster.graph().clone();
-        let now = self.next_part_id;
-        let paths = self
-            .table
-            .lookup_or_compute(&graph, payment.sender, payment.receiver, now);
-        if paths.is_empty() {
-            return false;
-        }
-        let mut order: Vec<usize> = (0..paths.len()).collect();
-        for i in (1..order.len()).rev() {
-            let j = self.rng.random_range(0..=i);
-            order.swap(i, j);
-        }
-        let mut remaining = payment.amount;
-        let mut committed: Vec<(u64, Path, Amount)> = Vec::new();
-        let mut dead: Vec<usize> = Vec::new();
-        for &idx in &order {
-            if remaining.is_zero() {
-                break;
-            }
-            let path = &paths[idx];
-            // Try the full remaining amount first — no probe on success.
-            let id = self.fresh_id();
-            if self.cluster.commit_part(id, path, remaining) {
-                committed.push((id, path.clone(), remaining));
-                remaining = Amount::ZERO;
-                break;
-            }
-            // Probe, then commit the effective capacity.
-            let pid = self.fresh_id();
-            let Some(caps) = self.cluster.probe(pid, path) else {
-                continue;
-            };
-            let cp = Amount::from_micros(caps.into_iter().min().unwrap_or(0)).min(remaining);
-            if cp.is_zero() {
-                dead.push(idx);
-                continue;
-            }
-            let id = self.fresh_id();
-            if self.cluster.commit_part(id, path, cp) {
-                committed.push((id, path.clone(), cp));
-                remaining = remaining.saturating_sub(cp);
-            }
-        }
-        let ok = remaining.is_zero();
-        if ok {
-            for (id, path, amount) in &committed {
-                self.cluster.confirm_part(*id, path, *amount);
-            }
-        } else {
-            for (id, path, amount) in &committed {
-                self.cluster.reverse_part(*id, path, *amount);
-            }
-        }
-        for idx in dead {
-            self.table
-                .replace_path(&graph, payment.sender, payment.receiver, idx);
-        }
-        ok
+    /// Routes one payment, returning the full outcome.
+    pub fn route_outcome(&mut self, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        self.router.route(&mut self.cluster, payment, class)
     }
 }
 
@@ -625,6 +536,42 @@ mod tests {
     }
 
     #[test]
+    fn commit_part_located_names_the_nacking_hop() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        // First hop lacks balance → hop 0.
+        assert_eq!(
+            cluster.commit_part_located(1, &path, Amount::from_units(11)),
+            Err(0)
+        );
+        // Drain the second hop only; the NACK then comes from hop 1.
+        assert!(cluster.commit_part(2, &path, Amount::from_units(8)));
+        assert!(cluster.confirm_part(2, &path, Amount::from_units(8)));
+        // 1→3 has 2 left, 0→1 has 2 left... drain 0→1's remainder via
+        // the reverse route to isolate hop 1: instead, commit 3 (> 2).
+        assert_eq!(
+            cluster.commit_part_located(3, &path, Amount::from_units(3)),
+            Err(0),
+            "hop 0 has 2 < 3 after the drain"
+        );
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        let drain = Path::new(vec![n(1), n(3)], Some(cluster.graph())).unwrap();
+        assert!(cluster.commit_part(4, &drain, Amount::from_units(8)));
+        assert!(cluster.confirm_part(4, &drain, Amount::from_units(8)));
+        assert_eq!(
+            cluster.commit_part_located(5, &path, Amount::from_units(5)),
+            Err(1),
+            "hop 1 (1→3) has 2 < 5 while hop 0 still has 10"
+        );
+        // The failed attempt rolled hop 0 back.
+        let caps = cluster.probe(6, &path).unwrap();
+        assert_eq!(caps[0], 10_000_000);
+    }
+
+    #[test]
     fn reverse_restores_committed_part() {
         let (g, b) = diamond();
         let cluster = Cluster::launch(g, &b).unwrap();
@@ -667,6 +614,34 @@ mod tests {
     }
 
     #[test]
+    fn tree_schemes_route_on_the_cluster() {
+        // SpeedyMurmurs and SilentWhispers — previously sim-only — now
+        // run on the testbed through the same routers.
+        for scheme in [SchemeKind::SpeedyMurmurs, SchemeKind::SilentWhispers] {
+            let (g, b) = diamond();
+            let cluster = Cluster::launch(g, &b).unwrap();
+            let before = cluster.total_funds();
+            let mut runner = TestbedRunner::new(cluster, scheme, Amount::MAX, 1);
+            assert!(
+                runner.route_one(&pay(2), PaymentClass::Mice),
+                "{} failed a feasible payment",
+                scheme.name()
+            );
+            assert!(
+                !runner.route_one(&pay(1000), PaymentClass::Mice),
+                "{} claimed an infeasible payment",
+                scheme.name()
+            );
+            assert_eq!(
+                runner.cluster().total_funds(),
+                before,
+                "{} leaked funds",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
     fn run_trace_reports() {
         let (g, b) = diamond();
         let cluster = Cluster::launch(g, &b).unwrap();
@@ -678,11 +653,42 @@ mod tests {
         assert_eq!(report.success_volume, Amount::from_units(5));
         assert!(report.success_ratio() > 0.6);
         assert!(report.avg_delay() > Duration::ZERO);
+        assert!(
+            report.commit_messages > 0,
+            "commit traffic must be surfaced in the report"
+        );
+        assert_eq!(
+            report.total_messages(),
+            report.probe_messages + report.commit_messages
+        );
+    }
+
+    #[test]
+    fn fees_surface_in_the_report() {
+        let (g, b) = diamond();
+        let edge_count = g.edge_count();
+        let mut cluster = Cluster::launch(g, &b).unwrap();
+        // 1% proportional fee on every channel.
+        cluster
+            .set_fee_policies(vec![FeePolicy::proportional(10_000); edge_count])
+            .unwrap();
+        let mut runner = TestbedRunner::new(cluster, SchemeKind::ShortestPath, Amount::MAX, 1);
+        let report = runner.run_trace(&[pay(5)]);
+        assert_eq!(report.succeeded, 1);
+        // 2 hops × 1% of $5 = $0.10.
+        assert_eq!(report.fees_paid, Amount::from_units_f64(0.10));
     }
 
     #[test]
     fn launch_rejects_mismatched_tables() {
         let (g, _) = diamond();
         assert!(Cluster::launch(g, &[Amount::ZERO]).is_err());
+    }
+
+    #[test]
+    fn fee_table_size_is_validated() {
+        let (g, b) = diamond();
+        let mut cluster = Cluster::launch(g, &b).unwrap();
+        assert!(cluster.set_fee_policies(vec![FeePolicy::FREE]).is_err());
     }
 }

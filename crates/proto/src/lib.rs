@@ -17,20 +17,27 @@
 //!   hop-by-hop balance escrow on `COMMIT`, rollback on `COMMIT_NACK`,
 //!   reverse-direction crediting on `CONFIRM_ACK`, and forward-direction
 //!   restoration on `REVERSE` (the two-phase commit of §5.1).
-//! * [`cluster`] — the orchestrator: launches a cluster, implements the
-//!   sender-side routing schemes (Flash / Spider / Shortest Path) on top
-//!   of the protocol, and measures per-transaction processing delay —
-//!   the metric of Figures 12 and 13.
+//! * [`cluster`] — the orchestrator: launches a cluster and measures
+//!   per-transaction processing delay — the metric of Figures 12/13 —
+//!   plus the probe/commit message breakdown and fees.
+//! * [`backend`] — implements [`pcn_sim::PaymentNetwork`] for
+//!   [`Cluster`], mapping probes and payment sessions onto the wire
+//!   protocol. This is what lets **all five** routing schemes from
+//!   `flash-core` (Flash, Spider, SP, SpeedyMurmurs, SilentWhispers)
+//!   run on the testbed through the *same* [`pcn_sim::Router`]
+//!   implementations the simulator evaluates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cluster;
 pub mod fault;
 pub mod node;
 pub mod transport;
 pub mod wire;
 
+pub use backend::ClusterSession;
 pub use cluster::{Cluster, SchemeKind, TestbedReport, TestbedRunner};
 pub use fault::FaultPlan;
 pub use wire::{Message, MsgType};

@@ -1,0 +1,290 @@
+//! The backend-agnostic payment-network API.
+//!
+//! The paper evaluates every routing scheme twice: on the §4 simulator
+//! and on the §5 distributed prototype. Both expose the same three
+//! primitives — "source routing, probing, and atomic payment
+//! processing" — so the routers are written once, against the
+//! [`PaymentNetwork`] trait, and run unmodified on either backend:
+//!
+//! * [`Network`](crate::Network) — the in-memory simulator. Probes and
+//!   commits mutate a balance vector directly and are metered into
+//!   [`Metrics`](crate::Metrics).
+//! * `pcn_proto::Cluster` — the TCP testbed. Probes become `PROBE` /
+//!   `PROBE_ACK` frames, payment sessions become the concurrent
+//!   two-phase `COMMIT` / `CONFIRM` / `REVERSE` exchange of §5.1.
+//!
+//! The trait captures the *only* surface routers may touch: the local
+//! topology, path probing, and a transactional [`PaymentSession`].
+//! Balances are never readable directly — a backend that wanted to leak
+//! them would have to do so through [`PaymentNetwork::probe_path`],
+//! where the probing overhead the paper measures (Figure 8) is charged.
+//!
+//! ## Plugging in a custom backend
+//!
+//! Any settlement substrate that can probe a path and atomically
+//! reserve/commit funds can host the routers. A minimal example — an
+//! unmetered instant-settlement rail — and a custom router driving it:
+//!
+//! ```
+//! use pcn_graph::{DiGraph, Path};
+//! use pcn_sim::{
+//!     ChannelInfo, FailureReason, PartFailure, PaymentNetwork, PaymentSession, ProbeReport,
+//!     RouteOutcome, Router,
+//! };
+//! use pcn_types::{Amount, FeePolicy, NodeId, Payment, PaymentClass, TxId};
+//!
+//! /// A toy backend: every existing channel has unlimited capacity.
+//! struct Unmetered {
+//!     graph: DiGraph,
+//! }
+//!
+//! struct UnmeteredSession<'a> {
+//!     graph: &'a DiGraph,
+//!     demand: Amount,
+//!     reserved: Amount,
+//!     paths_used: u32,
+//! }
+//!
+//! impl PaymentNetwork for Unmetered {
+//!     type Session<'a> = UnmeteredSession<'a>;
+//!
+//!     fn graph(&self) -> &DiGraph {
+//!         &self.graph
+//!     }
+//!
+//!     fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
+//!         let channels = path
+//!             .channels()
+//!             .map(|(u, v)| {
+//!                 Some(ChannelInfo {
+//!                     edge: self.graph.edge(u, v)?,
+//!                     capacity: Amount::MAX,
+//!                     fee: FeePolicy::FREE,
+//!                     reverse: None,
+//!                 })
+//!             })
+//!             .collect::<Option<Vec<_>>>()?;
+//!         Some(ProbeReport { channels })
+//!     }
+//!
+//!     fn begin_payment(&mut self, payment: &Payment, _class: PaymentClass) -> UnmeteredSession<'_> {
+//!         UnmeteredSession {
+//!             graph: &self.graph,
+//!             demand: payment.amount,
+//!             reserved: Amount::ZERO,
+//!             paths_used: 0,
+//!         }
+//!     }
+//! }
+//!
+//! impl PaymentSession for UnmeteredSession<'_> {
+//!     fn try_send_part(&mut self, path: &Path, amount: Amount) -> Result<(), PartFailure> {
+//!         // Reject parts over channels that do not exist; accept the rest.
+//!         for (u, v) in path.channels() {
+//!             if self.graph.edge(u, v).is_none() {
+//!                 return Err(PartFailure {
+//!                     failed_hop: 0,
+//!                     available: Amount::ZERO,
+//!                 });
+//!             }
+//!         }
+//!         self.reserved = self.reserved.saturating_add(amount);
+//!         self.paths_used += 1;
+//!         Ok(())
+//!     }
+//!
+//!     fn probe_path(&mut self, _path: &Path) -> Option<ProbeReport> {
+//!         None // nothing mid-session to learn: capacity is unlimited
+//!     }
+//!
+//!     fn reserved(&self) -> Amount {
+//!         self.reserved
+//!     }
+//!
+//!     fn remaining(&self) -> Amount {
+//!         self.demand.saturating_sub(self.reserved)
+//!     }
+//!
+//!     fn commit(self) -> RouteOutcome {
+//!         RouteOutcome::Success {
+//!             volume: self.demand,
+//!             fees: Amount::ZERO,
+//!             paths_used: self.paths_used,
+//!         }
+//!     }
+//!
+//!     fn abort(self) {}
+//! }
+//!
+//! // Any `Router<N>` — here a one-hop direct-send router — runs on it.
+//! struct Direct;
+//!
+//! impl<N: PaymentNetwork> Router<N> for Direct {
+//!     fn name(&self) -> &'static str {
+//!         "Direct"
+//!     }
+//!
+//!     fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+//!         let Ok(path) = Path::new(vec![payment.sender, payment.receiver], None) else {
+//!             return RouteOutcome::failure(FailureReason::NoRoute);
+//!         };
+//!         net.send_single_path(payment, class, &path)
+//!     }
+//! }
+//!
+//! let mut g = DiGraph::new(2);
+//! g.add_edge(NodeId(0), NodeId(1)).unwrap();
+//! let mut rail = Unmetered { graph: g };
+//! let p = Payment::new(TxId(1), NodeId(0), NodeId(1), Amount::from_units(3));
+//! assert!(Direct.route(&mut rail, &p, PaymentClass::Mice).is_success());
+//! ```
+
+use crate::{FailureReason, ProbeReport, RouteOutcome};
+use pcn_graph::{DiGraph, Path};
+use pcn_types::{Amount, Payment, PaymentClass};
+
+/// One hop-failure during a commit attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartFailure {
+    /// Index of the hop whose balance was insufficient (0 = first hop).
+    pub failed_hop: usize,
+    /// Balance available at that hop when the part arrived. Best effort:
+    /// backends whose wire protocol does not report it (the prototype's
+    /// `COMMIT_NACK` carries no balance field) leave it at zero.
+    pub available: Amount,
+}
+
+/// An in-flight atomic multi-path payment — the AMP guarantee of §3.1
+/// realized as the two-phase commit of §5.1.
+///
+/// Parts reserved with [`PaymentSession::try_send_part`] escrow funds
+/// hop-by-hop (phase 1, the prototype's `COMMIT` forward pass);
+/// [`PaymentSession::commit`] settles every part (phase 2, the
+/// `CONFIRM_ACK` pass crediting each reverse channel direction), while
+/// [`PaymentSession::abort`] — or simply dropping the session — restores
+/// every escrow (the `REVERSE` pass). A failed payment therefore leaves
+/// no trace in any backend's balances.
+pub trait PaymentSession {
+    /// Attempts to reserve `amount` along `path` (phase-1 commit). On
+    /// success the funds are escrowed until [`PaymentSession::commit`]
+    /// or [`PaymentSession::abort`]; on failure nothing from *this part*
+    /// stays escrowed and the failing hop is reported best-effort.
+    ///
+    /// A zero `amount` is a no-op that reserves nothing and always
+    /// succeeds.
+    fn try_send_part(&mut self, path: &Path, amount: Amount) -> Result<(), PartFailure>;
+
+    /// Reserves a batch of parts. The paper's prototype "prepares a
+    /// COMMIT message for each of the sub-payment and sends them out"
+    /// before collecting replies, so backends with real message latency
+    /// override this to issue the phase-1 commits concurrently.
+    ///
+    /// The default issues [`PaymentSession::try_send_part`] sequentially
+    /// and stops at the first failure — the simulator's semantics. On
+    /// `Err`, parts reserved earlier in the batch (and, for concurrent
+    /// backends, any part that individually succeeded) remain escrowed;
+    /// callers are expected to [`PaymentSession::abort`] the session,
+    /// which is what every router does on a failed batch.
+    fn try_send_parts(&mut self, parts: &[(Path, Amount)]) -> Result<(), PartFailure> {
+        for (path, amount) in parts {
+            if amount.is_zero() {
+                continue;
+            }
+            self.try_send_part(path, *amount)?;
+        }
+        Ok(())
+    }
+
+    /// Probes a path while the session is open. Escrowed funds of
+    /// already-reserved parts are invisible to the probe, exactly as a
+    /// concurrent prototype probe sees post-`COMMIT` balances (Flash's
+    /// mice loop probes a path only after a full-amount attempt fails).
+    fn probe_path(&mut self, path: &Path) -> Option<ProbeReport>;
+
+    /// Total amount reserved so far across all parts.
+    fn reserved(&self) -> Amount;
+
+    /// Remaining demand (`demand − reserved`, clamped at zero).
+    fn remaining(&self) -> Amount;
+
+    /// Whether the reserved parts cover the full demand.
+    fn is_satisfied(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Commits every reserved part (phase 2), crediting reverse channel
+    /// directions, and returns the success outcome.
+    ///
+    /// # Panics
+    /// Panics if the reserved total does not cover the demand — routers
+    /// must check [`PaymentSession::is_satisfied`] first.
+    fn commit(self) -> RouteOutcome;
+
+    /// Aborts the session, restoring every escrowed part. Equivalent to
+    /// dropping the session; provided for explicitness at call sites.
+    fn abort(self);
+}
+
+/// A payment-channel network backend: the complete surface a
+/// [`Router`](crate::Router) may touch.
+///
+/// Implementations exist for the in-memory simulator
+/// ([`Network`](crate::Network)) and the TCP testbed prototype
+/// (`pcn_proto::Cluster`); the module docs show how to plug in a custom
+/// one. Routers never see balances except through
+/// [`PaymentNetwork::probe_path`] — the trait is what turns the old
+/// "routers never read balances directly" convention into a guarantee.
+pub trait PaymentNetwork {
+    /// The session type opened by [`PaymentNetwork::begin_payment`].
+    type Session<'a>: PaymentSession
+    where
+        Self: 'a;
+
+    /// The locally known topology — no balance information, exactly what
+    /// the paper assumes every node knows (§3.1).
+    fn graph(&self) -> &DiGraph;
+
+    /// Probes a path end-to-end: per-hop capacities and fees, charging
+    /// the backend's probe-message accounting. `None` when the path has
+    /// a missing channel or the probe was lost (fault injection /
+    /// transport timeout) — messages are still charged in that case.
+    fn probe_path(&mut self, path: &Path) -> Option<ProbeReport>;
+
+    /// Probes several paths. Spider probes all its candidate paths for
+    /// every payment; backends with real message latency override this
+    /// to probe concurrently, as the prototype's sender does. The
+    /// default probes sequentially (the simulator's semantics).
+    fn probe_paths(&mut self, paths: &[Path]) -> Vec<Option<ProbeReport>> {
+        paths.iter().map(|p| self.probe_path(p)).collect()
+    }
+
+    /// Opens an atomic payment session and records the attempt in the
+    /// backend's accounting. The session must be
+    /// [`PaymentSession::commit`]ted or it aborts on drop.
+    fn begin_payment(&mut self, payment: &Payment, class: PaymentClass) -> Self::Session<'_>;
+
+    /// Convenience for single-path schemes: attempt the full amount on
+    /// one path and commit if it fits.
+    fn send_single_path(
+        &mut self,
+        payment: &Payment,
+        class: PaymentClass,
+        path: &Path,
+    ) -> RouteOutcome {
+        let mut session = self.begin_payment(payment, class);
+        match session.try_send_part(path, payment.amount) {
+            Ok(()) => session.commit(),
+            Err(_) => {
+                session.abort();
+                RouteOutcome::failure(FailureReason::InsufficientCapacity)
+            }
+        }
+    }
+
+    /// Records a payment the router rejected without touching any
+    /// channel (no route, infeasible demand) so success-ratio accounting
+    /// stays fair across schemes: the attempt is counted, nothing moves.
+    fn record_rejected_attempt(&mut self, payment: &Payment, class: PaymentClass) {
+        self.begin_payment(payment, class).abort();
+    }
+}

@@ -1,20 +1,27 @@
 //! # pcn-sim
 //!
 //! The payment-channel-network simulator behind the paper's §4
-//! evaluation. It owns the only mutable truth in the system — per-channel
-//! balances — and exposes exactly the three operations the paper's
-//! prototype implements (§5.1): **probing**, **source-routed two-phase
-//! commit**, and **atomic multi-path payments**:
+//! evaluation, plus the backend-agnostic routing API ([`backend`]) that
+//! lets the same routers also drive the §5 TCP testbed.
 //!
-//! * [`Network`] — topology + balances + fees. Routers never read
-//!   balances directly; they call [`Network::probe_path`] (which meters
+//! Every backend exposes exactly the three operations the paper's
+//! prototype implements (§5.1): **probing**, **source-routed two-phase
+//! commit**, and **atomic multi-path payments** — captured by the
+//! [`PaymentNetwork`] and [`PaymentSession`] traits:
+//!
+//! * [`Network`] — the in-memory backend: topology + balances + fees.
+//!   Routers never read balances directly — the trait surface has no
+//!   balance accessor; they call [`Network::probe_path`] (which meters
 //!   probe messages) or attempt a send (which can fail mid-path exactly
 //!   like a `COMMIT_NACK`).
 //! * Payment sessions — [`Network::begin_payment`] opens an atomic
-//!   session; parts reserved with [`PaymentSession::try_send_part`] are
-//!   escrowed and either all committed ([`PaymentSession::commit`],
-//!   crediting the reverse channel direction like the prototype's
-//!   `CONFIRM_ACK`) or all reversed ([`PaymentSession::abort`]).
+//!   [`NetworkSession`]; parts reserved with
+//!   [`NetworkSession::try_send_part`] are escrowed and either all
+//!   committed ([`NetworkSession::commit`], crediting the reverse
+//!   channel direction like the prototype's `CONFIRM_ACK`) or all
+//!   reversed ([`NetworkSession::abort`]).
+//! * [`Router`] — a scheme, generic over the backend; `flash-core`
+//!   implements all five schemes against it.
 //! * [`Metrics`] — success ratio / success volume / probing messages /
 //!   fees, the exact quantities plotted in Figures 6–13.
 //! * [`FaultConfig`] — optional fault injection (stale probes, probe
@@ -27,14 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod outcome;
 pub mod router;
 
+pub use backend::{PartFailure, PaymentNetwork, PaymentSession};
 pub use fault::FaultConfig;
 pub use metrics::{ClassMetrics, Metrics};
-pub use network::{ChannelInfo, Network, PaymentSession, ProbeReport};
+pub use network::{ChannelInfo, Network, NetworkSession, ProbeReport};
 pub use outcome::{FailureReason, RouteOutcome};
 pub use router::Router;

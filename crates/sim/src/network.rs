@@ -1,5 +1,6 @@
 //! Network state and atomic payment sessions.
 
+use crate::backend::{PartFailure, PaymentNetwork, PaymentSession};
 use crate::{FaultConfig, Metrics, RouteOutcome};
 use pcn_graph::{DiGraph, EdgeId, Path};
 use pcn_types::{Amount, FeePolicy, Payment, PaymentClass, PcnError, Result};
@@ -40,15 +41,6 @@ impl ProbeReport {
             .min()
             .unwrap_or(Amount::ZERO)
     }
-}
-
-/// One hop-failure during a commit attempt.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PartFailure {
-    /// Index of the hop whose balance was insufficient (0 = first hop).
-    pub failed_hop: usize,
-    /// Balance available at that hop when the part arrived.
-    pub available: Amount,
 }
 
 /// The offchain network: topology, per-direction channel balances, fee
@@ -221,11 +213,11 @@ impl Network {
     }
 
     /// Opens an atomic payment session. The attempt is recorded
-    /// immediately; the session must then be [`PaymentSession::commit`]ted
+    /// immediately; the session must then be [`NetworkSession::commit`]ted
     /// or it aborts on drop, restoring all balances.
-    pub fn begin_payment(&mut self, payment: &Payment, class: PaymentClass) -> PaymentSession<'_> {
+    pub fn begin_payment(&mut self, payment: &Payment, class: PaymentClass) -> NetworkSession<'_> {
         self.metrics.record_attempt(class, payment.amount);
-        PaymentSession {
+        NetworkSession {
             net: self,
             demand: payment.amount,
             class,
@@ -261,15 +253,16 @@ struct ReservedPart {
 }
 
 /// An in-flight atomic multi-path payment (the AMP guarantee of §3.1 and
-/// the two-phase commit of §5.1).
+/// the two-phase commit of §5.1) on the in-memory simulator — the
+/// [`Network`] backend's [`PaymentSession`] implementation.
 ///
-/// Parts reserved via [`PaymentSession::try_send_part`] escrow funds
+/// Parts reserved via [`NetworkSession::try_send_part`] escrow funds
 /// hop-by-hop, exactly like the prototype's `COMMIT` messages decrement
-/// balances on the forward pass. [`PaymentSession::commit`] then credits
+/// balances on the forward pass. [`NetworkSession::commit`] then credits
 /// every reverse channel direction (the prototype's `CONFIRM_ACK` pass);
 /// dropping the session un-escrows everything (the `REVERSE` pass), so a
 /// failed payment leaves no trace in the balances.
-pub struct PaymentSession<'a> {
+pub struct NetworkSession<'a> {
     net: &'a mut Network,
     demand: Amount,
     class: PaymentClass,
@@ -278,7 +271,7 @@ pub struct PaymentSession<'a> {
     closed: bool,
 }
 
-impl PaymentSession<'_> {
+impl NetworkSession<'_> {
     /// Attempts to reserve `amount` along `path`. On success the funds
     /// are escrowed; on failure every hop debited by *this part* is
     /// restored and the failing hop index is reported (the router can
@@ -366,7 +359,7 @@ impl PaymentSession<'_> {
     ///
     /// # Panics
     /// Panics if the reserved total does not cover the demand — routers
-    /// must check [`PaymentSession::is_satisfied`] first.
+    /// must check [`NetworkSession::is_satisfied`] first.
     pub fn commit(mut self) -> RouteOutcome {
         assert!(
             self.is_satisfied(),
@@ -413,11 +406,74 @@ impl PaymentSession<'_> {
     }
 }
 
-impl Drop for PaymentSession<'_> {
+impl Drop for NetworkSession<'_> {
     fn drop(&mut self) {
         if !self.closed {
             self.rollback();
         }
+    }
+}
+
+/// The simulator is the reference [`PaymentNetwork`] backend: every
+/// trait method forwards to the inherent method of the same name, so
+/// concrete-`Network` callers and generic routers observe identical
+/// semantics (and identical [`Metrics`] accounting).
+impl PaymentNetwork for Network {
+    type Session<'a> = NetworkSession<'a>;
+
+    fn graph(&self) -> &DiGraph {
+        Network::graph(self)
+    }
+
+    fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
+        Network::probe_path(self, path)
+    }
+
+    fn begin_payment(&mut self, payment: &Payment, class: PaymentClass) -> NetworkSession<'_> {
+        Network::begin_payment(self, payment, class)
+    }
+
+    fn send_single_path(
+        &mut self,
+        payment: &Payment,
+        class: PaymentClass,
+        path: &Path,
+    ) -> RouteOutcome {
+        Network::send_single_path(self, payment, class, path)
+    }
+}
+
+impl PaymentSession for NetworkSession<'_> {
+    fn try_send_part(
+        &mut self,
+        path: &Path,
+        amount: Amount,
+    ) -> std::result::Result<(), PartFailure> {
+        NetworkSession::try_send_part(self, path, amount)
+    }
+
+    fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
+        NetworkSession::probe_path(self, path)
+    }
+
+    fn reserved(&self) -> Amount {
+        NetworkSession::reserved(self)
+    }
+
+    fn remaining(&self) -> Amount {
+        NetworkSession::remaining(self)
+    }
+
+    fn is_satisfied(&self) -> bool {
+        NetworkSession::is_satisfied(self)
+    }
+
+    fn commit(self) -> RouteOutcome {
+        NetworkSession::commit(self)
+    }
+
+    fn abort(self) {
+        NetworkSession::abort(self)
     }
 }
 

@@ -30,7 +30,7 @@ pub const LIGHTNING_MEDIAN_CAPACITY_SAT: f64 = 500_000.0;
 
 /// Builds the Ripple-scale network: 1,870 nodes, 8,708 bidirectional
 /// channels (17,416 directed edges). Channel funds are log-normally
-/// distributed with median $250 and "evenly assign[ed] ... over both
+/// distributed with median $250 and "evenly assign\[ed\] ... over both
 /// directions of a channel" exactly as the paper post-processes its
 /// crawl (both directions get the same balance).
 pub fn ripple_topology(seed: u64) -> Network {

@@ -1,6 +1,10 @@
 //! Testbed walkthrough: launches a real TCP cluster (one node per
 //! participant on 127.0.0.1), routes payments with the two-phase commit
-//! protocol of §5.1, and prints per-scheme processing delays.
+//! protocol of §5.1, and prints per-scheme processing delays and the
+//! probe/commit message breakdown.
+//!
+//! All five schemes route through the very same `flash-core` routers the
+//! simulator uses — the cluster is just another `PaymentNetwork` backend.
 //!
 //! ```sh
 //! cargo run --example testbed_cluster
@@ -21,11 +25,7 @@ fn main() {
     let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
     let threshold = flash_offchain::core::classify::threshold_for_mice_fraction(&amounts, 0.9);
 
-    for scheme in [
-        SchemeKind::ShortestPath,
-        SchemeKind::Spider,
-        SchemeKind::Flash,
-    ] {
+    for scheme in SchemeKind::ALL {
         // Fresh cluster per scheme: identical initial balances.
         let topo = testbed_topology(nodes, lo, hi, 42);
         let graph = topo.graph().clone();
@@ -34,12 +34,13 @@ fn main() {
         let mut runner = TestbedRunner::new(cluster, scheme, threshold, 13);
         let report = runner.run_trace(&trace);
         println!(
-            "{:>6}: success {:>5.1}%  volume ${:<12} avg delay {:>9.1?}  probes {}",
+            "{:>14}: success {:>5.1}%  volume ${:<11} avg delay {:>9.1?}  probes {:>5}  commits {:>5}",
             scheme.name(),
             report.success_ratio() * 100.0,
             report.success_volume.as_units_f64(),
             report.avg_delay(),
             report.probe_messages,
+            report.commit_messages,
         );
     }
     println!("done — all balance movement happened via PROBE/COMMIT/CONFIRM frames over TCP.");

@@ -7,10 +7,13 @@
 //! * [`types`] — money, ids, payments, fees ([`pcn_types`]).
 //! * [`graph`] — graph algorithms and generators ([`pcn_graph`]).
 //! * [`lp`] — the simplex solver ([`pcn_lp`]).
-//! * [`sim`] — the PCN simulator ([`pcn_sim`]).
-//! * [`core`] — Flash and the baseline routers ([`flash_core`]).
+//! * [`sim`] — the backend-agnostic `PaymentNetwork` routing API and
+//!   the PCN simulator backend ([`pcn_sim`]).
+//! * [`core`] — Flash and the baseline routers, generic over the
+//!   backend ([`flash_core`]).
 //! * [`workload`] — calibrated workload synthesis ([`pcn_workload`]).
-//! * [`proto`] — the TCP testbed prototype ([`pcn_proto`]).
+//! * [`proto`] — the TCP testbed prototype, the second `PaymentNetwork`
+//!   backend ([`pcn_proto`]).
 //! * [`experiments`] — figure regeneration ([`pcn_experiments`]).
 //!
 //! ## Example
