@@ -1,0 +1,137 @@
+//! `e2e_bench` — the end-to-end routing perf trajectory.
+//!
+//! ```text
+//! e2e_bench [--smoke] [--out FILE]
+//! ```
+//!
+//! Drives every scheme through the discrete-event engine
+//! (`pcn_sim::des`) on the §5.2 Watts–Strogatz testbed topology under a
+//! Poisson arrival process, and records per scheme: success ratio,
+//! delivered throughput (successful payments per *virtual* second),
+//! completion-latency percentiles, peak in-flight payments, event
+//! count, and the wall-clock cost of simulating it all. Results go to
+//! `BENCH_e2e.json` (default) so the end-to-end trajectory is tracked
+//! across PRs, next to `BENCH_maxflow.json`'s kernel trajectory.
+//! `--smoke` shrinks the run for CI.
+//!
+//! Everything virtual is deterministic: two runs of this binary must
+//! produce byte-identical JSON except for the `wall_ns` timing fields.
+
+use pcn_experiments::harness::{run_scheme_des, DEFAULT_MICE_FRACTION};
+use pcn_experiments::SimScheme;
+use pcn_sim::LatencyModel;
+use pcn_workload::testbed_topology;
+use pcn_workload::trace::{generate_trace, TraceConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One (scheme, offered-load) measurement.
+#[derive(Serialize)]
+struct Record {
+    scheme: String,
+    nodes: usize,
+    payments: usize,
+    offered_pps: f64,
+    hop_latency_ms: u64,
+    success_ratio: f64,
+    throughput_pps: f64,
+    p50_latency_ms: f64,
+    p95_latency_ms: f64,
+    p99_latency_ms: f64,
+    peak_in_flight: u64,
+    events: u64,
+    virtual_makespan_ms: f64,
+    wall_ns: u64,
+}
+
+const SCHEMES: [SimScheme; 5] = SimScheme::ALL;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_e2e.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a file").clone();
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: e2e_bench [--smoke] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (nodes, payments, loads): (usize, usize, &[f64]) = if smoke {
+        (60, 150, &[100.0])
+    } else {
+        (200, 800, &[50.0, 400.0])
+    };
+    let hop_latency_ms = 25;
+    let seed = 1009;
+    let net = testbed_topology(nodes, 1000, 1500, seed);
+    let trace = generate_trace(net.graph(), &TraceConfig::ripple(payments, seed + 7));
+
+    let mut records: Vec<Record> = Vec::new();
+    for scheme in SCHEMES {
+        for &load in loads {
+            let start = Instant::now();
+            let report = run_scheme_des(
+                &net,
+                scheme,
+                &trace,
+                DEFAULT_MICE_FRACTION,
+                seed + 31,
+                load,
+                LatencyModel::constant_ms(hop_latency_ms),
+            );
+            let wall = start.elapsed();
+            println!(
+                "{:>14} @{:>4} pps: ratio {:>5.1}% tput {:>6.1} pps p95 {:>8.1} ms peak {:>3} in flight",
+                scheme.label(),
+                load,
+                report.metrics.success_ratio() * 100.0,
+                report.throughput_pps,
+                report.latency_ms(0.95),
+                report.peak_in_flight,
+            );
+            records.push(Record {
+                scheme: scheme.label(),
+                nodes,
+                payments,
+                offered_pps: load,
+                hop_latency_ms,
+                success_ratio: report.metrics.success_ratio(),
+                throughput_pps: report.throughput_pps,
+                p50_latency_ms: report.latency_ms(0.5),
+                p95_latency_ms: report.latency_ms(0.95),
+                p99_latency_ms: report.latency_ms(0.99),
+                peak_in_flight: report.peak_in_flight,
+                events: report.events,
+                virtual_makespan_ms: report.makespan.as_millis_f64(),
+                wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+    }
+
+    // One record per line: diffable in review, still a plain JSON array.
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {}",
+                serde_json::to_string(r).expect("bench record serializes")
+            )
+        })
+        .collect();
+    std::fs::write(&out, format!("[\n{}\n]\n", body.join(",\n"))).expect("write bench output");
+    println!("wrote {out}");
+}

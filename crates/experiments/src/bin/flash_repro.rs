@@ -30,7 +30,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!("usage: flash-repro [--quick] [--out DIR] [--fig figN]...");
-                eprintln!("figures: fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13");
+                eprintln!("figures: fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency");
                 return;
             }
             other => {
@@ -43,6 +43,7 @@ fn main() {
     if figs.is_empty() {
         figs = [
             "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "latency",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -64,6 +65,7 @@ fn main() {
             "fig11" => figures::fig11::run(effort),
             "fig12" => figures::fig12::run(effort),
             "fig13" => figures::fig13::run(effort),
+            "latency" => figures::latency::run(effort),
             other => {
                 eprintln!("unknown figure: {other}");
                 std::process::exit(2);

@@ -1,0 +1,133 @@
+//! Load vs. latency on the discrete-event engine (beyond the paper).
+//!
+//! The paper reports per-payment processing *delay* on the testbed
+//! (Figures 12c/d, 13c/d) but its simulator is instantaneous, so it
+//! cannot relate offered load to completion latency or show the
+//! throughput knee where in-flight contention starts failing payments.
+//! This sweep drives all five schemes through `pcn_sim::des` on the
+//! §5.2 Watts–Strogatz testbed topology under a Poisson arrival
+//! process and plots, per offered load:
+//!
+//! * `lat_a` — success ratio;
+//! * `lat_b` — p95 completion latency (admission → final settlement,
+//!   virtual ms);
+//! * `lat_c` — delivered throughput (successful payments per virtual
+//!   second).
+//!
+//! A modeling caveat for reading `lat_b`: hop delays come from
+//! [`LatencyModel`] only — there is no per-node service queue — so a
+//! payment's completion latency is set by the hop counts of the waves
+//! it sends, not by how busy the network is. Load moves `lat_b` only
+//! indirectly (contention changes which payments succeed and how many
+//! paths/retries they need), so the curve is nearly flat; the
+//! load-dependent signals are `lat_a` (success ratio) and `lat_c`
+//! (delivered throughput, including the saturation knee). Queueing
+//! delay at nodes is a candidate extension tracked in ROADMAP.md.
+
+use crate::harness::{run_scheme_des, Effort, SimScheme, DEFAULT_MICE_FRACTION};
+use crate::report::{FigureResult, Series};
+use pcn_sim::LatencyModel;
+use pcn_workload::testbed_topology;
+use pcn_workload::trace::{generate_trace, TraceConfig};
+
+/// All five schemes, exactly as they run on the other two backends.
+pub const SCHEMES: [SimScheme; 5] = SimScheme::ALL;
+
+/// Per-hop message latency of the sweep: 25ms, the order the paper's
+/// LAN testbed measures per-hop processing in (§5.2).
+pub const HOP_LATENCY_MS: u64 = 25;
+
+/// Regenerates the load sweep (`lat_a`–`lat_c`).
+pub fn run(effort: Effort) -> Vec<FigureResult> {
+    let (nodes, txns, loads): (usize, usize, &[f64]) = match effort {
+        Effort::Quick => (60, 150, &[50.0, 200.0]),
+        Effort::Paper => (200, 600, &[25.0, 100.0, 400.0]),
+    };
+    let mut fig_ratio = FigureResult::new(
+        "lat_a",
+        format!("Success ratio vs offered load (DES, {nodes}-node testbed topology)"),
+        "offered load (payments/s)",
+        "success ratio (%)",
+    );
+    let mut fig_p95 = FigureResult::new(
+        "lat_b",
+        format!("p95 completion latency vs offered load (DES, {nodes}-node testbed topology)"),
+        "offered load (payments/s)",
+        "p95 completion latency (virtual ms)",
+    );
+    let mut fig_tput = FigureResult::new(
+        "lat_c",
+        format!("Delivered throughput vs offered load (DES, {nodes}-node testbed topology)"),
+        "offered load (payments/s)",
+        "successful payments per virtual second",
+    );
+    let seed = 97;
+    let net = testbed_topology(nodes, 1000, 1500, seed);
+    let trace = generate_trace(net.graph(), &TraceConfig::ripple(txns, seed + 7));
+    for scheme in SCHEMES {
+        let mut s_ratio = Series::new(scheme.label());
+        let mut s_p95 = Series::new(scheme.label());
+        let mut s_tput = Series::new(scheme.label());
+        for &load in loads {
+            let report = run_scheme_des(
+                &net,
+                scheme,
+                &trace,
+                DEFAULT_MICE_FRACTION,
+                seed + 31,
+                load,
+                LatencyModel::constant_ms(HOP_LATENCY_MS),
+            );
+            s_ratio.push(load, report.metrics.success_ratio() * 100.0);
+            s_p95.push(load, report.latency_ms(0.95));
+            s_tput.push(load, report.throughput_pps);
+        }
+        fig_ratio.series.push(s_ratio);
+        fig_p95.series.push(s_p95);
+        fig_tput.series.push(s_tput);
+    }
+    vec![fig_ratio, fig_p95, fig_tput]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_schemes_and_loads() {
+        let figs = run(Effort::Quick);
+        assert_eq!(figs.len(), 3);
+        for fig in &figs {
+            assert_eq!(fig.series.len(), SCHEMES.len());
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 2, "{}: {}", fig.id, s.label);
+            }
+        }
+        // Latencies are nonzero whenever anything succeeded: a payment
+        // cannot settle faster than one hop's delay.
+        let p95 = figs.iter().find(|f| f.id == "lat_b").unwrap();
+        let ratio = figs.iter().find(|f| f.id == "lat_a").unwrap();
+        for s in &p95.series {
+            let succeeded = ratio.series(&s.label).unwrap().points[0].1 > 0.0;
+            if succeeded {
+                assert!(
+                    s.points[0].1 >= HOP_LATENCY_MS as f64,
+                    "{} p95 {} below one hop delay",
+                    s.label,
+                    s.points[0].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run(Effort::Quick);
+        let b = run(Effort::Quick);
+        for (fa, fb) in a.iter().zip(&b) {
+            for (sa, sb) in fa.series.iter().zip(&fb.series) {
+                assert_eq!(sa.points, sb.points, "{} {}", fa.id, sa.label);
+            }
+        }
+    }
+}

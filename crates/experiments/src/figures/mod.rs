@@ -1,4 +1,4 @@
-//! One module per paper figure.
+//! One module per paper figure, plus the DES load sweep ([`latency`]).
 
 pub mod fig10;
 pub mod fig11;
@@ -10,4 +10,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod latency;
 pub mod testbed;

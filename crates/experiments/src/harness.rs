@@ -7,7 +7,10 @@ use flash_core::{
 };
 use pcn_graph::generators;
 use pcn_graph::maxflow::{Dinic, MaxFlowSolver};
-use pcn_sim::{Metrics, Network, Router};
+use pcn_sim::{
+    DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, Metrics, Network, PaymentNetwork,
+    Router,
+};
 use pcn_types::{Amount, FeePolicy, NodeId, Payment};
 use pcn_workload::trace::{generate_trace, TraceConfig};
 use pcn_workload::{lightning_topology, ripple_topology};
@@ -139,6 +142,17 @@ pub enum SimScheme {
 }
 
 impl SimScheme {
+    /// The five head-to-head schemes (excludes the Flash ablation
+    /// variants) — the set every backend comparison sweeps, mirroring
+    /// `pcn_proto::SchemeKind::ALL`.
+    pub const ALL: [SimScheme; 5] = [
+        SimScheme::Flash,
+        SimScheme::Spider,
+        SimScheme::SpeedyMurmurs,
+        SimScheme::SilentWhispers,
+        SimScheme::ShortestPath,
+    ];
+
     /// Legend label.
     pub fn label(self) -> String {
         match self {
@@ -152,8 +166,19 @@ impl SimScheme {
         }
     }
 
-    /// Instantiates the router.
+    /// Instantiates the router against the default simulator backend.
     pub fn router(self, elephant_threshold: Amount, seed: u64) -> Box<dyn Router> {
+        self.router_on::<Network>(elephant_threshold, seed)
+    }
+
+    /// Instantiates the router against any [`PaymentNetwork`] backend —
+    /// the same schemes drive the instantaneous simulator, the TCP
+    /// testbed, and the discrete-event engine unmodified.
+    pub fn router_on<N: PaymentNetwork>(
+        self,
+        elephant_threshold: Amount,
+        seed: u64,
+    ) -> Box<dyn Router<N>> {
         match self {
             SimScheme::Flash => Box::new(FlashRouter::new(FlashConfig {
                 elephant_threshold,
@@ -204,6 +229,35 @@ pub fn run_scheme(
         router.route(&mut net, p, class);
     }
     net.metrics().clone()
+}
+
+/// Runs one scheme over a trace on the discrete-event engine: payments
+/// arrive from a seeded Poisson process at `rate_per_sec` (offered
+/// load), hop messages take `latency`, and many payments are in flight
+/// concurrently. Returns the full [`DesReport`] (success metrics plus
+/// completion-latency percentiles, peak in-flight, and throughput).
+/// The network is copied, exactly like [`run_scheme`].
+pub fn run_scheme_des(
+    net: &Network,
+    scheme: SimScheme,
+    trace: &[Payment],
+    mice_fraction: f64,
+    seed: u64,
+    rate_per_sec: f64,
+    latency: LatencyModel,
+) -> DesReport {
+    let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+    let threshold = threshold_for_mice_fraction(&amounts, mice_fraction);
+    let workload = pcn_workload::arrivals::poisson_workload(trace, rate_per_sec, seed);
+    let mut router = scheme.router_on::<DesNetwork>(threshold, seed);
+    let mut engine = DesEngine::new(
+        net.clone(),
+        DesConfig {
+            latency,
+            check_conservation: false,
+        },
+    );
+    engine.run(router.as_mut(), &workload, threshold)
 }
 
 /// The true `s → t` max-flow over the network's *current* balances, via

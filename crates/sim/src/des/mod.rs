@@ -1,0 +1,40 @@
+//! The deterministic discrete-event engine (virtual time, concurrent
+//! in-flight payments, latency/throughput metrics).
+//!
+//! The paper's §4 evaluation and §5 prototype both live in a world
+//! where payments overlap in time: probes go stale, concurrent payments
+//! contend on shared channels, and every hop costs real delay. The
+//! instantaneous [`Network`](crate::Network) cannot express any of
+//! that, so this module adds a second, *time-aware* backend behind the
+//! very same [`PaymentNetwork`](crate::PaymentNetwork) /
+//! [`PaymentSession`](crate::PaymentSession) traits — all five routing
+//! schemes run on it unmodified.
+//!
+//! * [`SimTime`] — virtual microseconds; nothing here reads a wall
+//!   clock.
+//! * [`EventQueue`] — binary-heap event queue with insertion-sequence
+//!   tie-breaking, so runs are bit-reproducible (see its module docs
+//!   for the invariants).
+//! * [`LatencyModel`] — per-hop propagation/processing delay: constant,
+//!   deterministic uniform jitter, or a per-edge table.
+//! * [`DesNetwork`] / [`DesSession`] — the backend: phase-1
+//!   reservations escrow funds across virtual time; phase-2
+//!   `CONFIRM`/`REVERSE` settlement is scheduled into the queue and
+//!   lands hop-by-hop later, which is what makes concurrent payments
+//!   genuinely contend and probes genuinely stale.
+//! * [`DesEngine`] — the executor: admits payments from a timed
+//!   workload (`pcn_workload::arrivals` builds Poisson and
+//!   trace-replay arrival processes) and reports completion-latency
+//!   percentiles, peak in-flight, and throughput in [`DesReport`].
+
+pub mod engine;
+pub mod latency;
+pub mod network;
+pub mod queue;
+pub mod time;
+
+pub use engine::{DesEngine, DesReport};
+pub use latency::LatencyModel;
+pub use network::{DesConfig, DesNetwork, DesSession};
+pub use queue::EventQueue;
+pub use time::SimTime;

@@ -1,0 +1,690 @@
+//! The time-aware [`PaymentNetwork`] backend.
+//!
+//! [`DesNetwork`] wraps the instantaneous [`Network`] and re-plays every
+//! backend operation over virtual time: probes take a round trip, each
+//! phase-1 `COMMIT` hop takes one link delay, and — crucially — the
+//! phase-2 settlement (`CONFIRM` reverse-direction credits on commit,
+//! `REVERSE` escrow releases on abort) is **scheduled into the event
+//! queue** instead of applied immediately. Funds reserved by
+//! [`PaymentSession::try_send_part`] therefore stay escrowed across
+//! virtual time until the delayed settlement wave fires, so payments
+//! admitted close together genuinely contend for channel balance and
+//! probe reports genuinely go stale — the paper's §5.1 failure mode
+//! ("the balance of some channel has changed after it was last probed")
+//! emerges from delay instead of from [`FaultConfig`] injection.
+//!
+//! ## Timing model
+//!
+//! Hop `i` of a wave crosses channel `i` after that channel's
+//! [`LatencyModel::delay`]; waves retrace the path for ACKs/NACKs. For a
+//! `k`-hop path:
+//!
+//! * a probe costs a full round trip (`2k` link delays) and snapshots
+//!   balances when the probe reaches the farthest hop;
+//! * a successful part reservation costs `2k` delays (COMMIT forward,
+//!   ACK back) and escrows each hop as the COMMIT passes it;
+//! * a failed reservation NACKs back from the failing hop, releasing
+//!   each escrowed hop as it retraces;
+//! * `commit`/`abort` launch one settlement wave per part from the
+//!   sender's current clock; each hop settles when the wave reaches it.
+//!
+//! ## Sender-serialized admission
+//!
+//! Routers are ordinary synchronous code, so the engine runs each
+//! payment's decision logic to completion at its arrival time (in
+//! arrival order). Balance state is shared and settles monotonically in
+//! drain order: reservations made by an earlier-admitted payment are
+//! visible immediately, and a scheduled release becomes visible once
+//! the *farthest-advanced* sender clock has drained past its fire time
+//! — not necessarily the observing payment's own clock. The resulting
+//! contention model is approximate in both directions: a payment can be
+//! blocked by an in-flight payment's escrow (and its probes can be
+//! stale with respect to waves that have not yet drained), but it can
+//! also observe a release that a previously admitted payment's
+//! farther-ahead clock already applied. What holds exactly: event
+//! application order is the queue's `(time, insertion)` order, runs are
+//! bit-reproducible, funds are conserved at every event boundary, and
+//! with a zero-latency model every wave fires at its issue instant,
+//! making the backend behaviorally identical to [`Network`] (the parity
+//! tests assert this).
+
+use super::latency::LatencyModel;
+use super::queue::EventQueue;
+use super::time::SimTime;
+use crate::backend::{PartFailure, PaymentNetwork, PaymentSession};
+use crate::{FaultConfig, Metrics, Network, ProbeReport, RouteOutcome};
+use pcn_graph::{DiGraph, EdgeId, Path};
+use pcn_types::{Amount, Payment, PaymentClass};
+
+/// Configuration of the discrete-event backend.
+#[derive(Clone, Debug)]
+pub struct DesConfig {
+    /// Per-hop message latency model.
+    pub latency: LatencyModel,
+    /// Assert funds conservation (balances + escrow + settled-out funds
+    /// = initial total) after **every** applied event. O(edges) per
+    /// event — enable in tests, leave off in benchmarks.
+    pub check_conservation: bool,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            latency: LatencyModel::constant_ms(10),
+            check_conservation: false,
+        }
+    }
+}
+
+/// One delayed settlement effect.
+enum Settle {
+    /// Abort/NACK: return the escrowed amount to the forward direction.
+    Restore { edge: EdgeId, amount: Amount },
+    /// Commit: credit the reverse direction of a debited hop (funds
+    /// leave the channel system when the hop has no reverse direction,
+    /// exactly as in [`Network`]'s instantaneous commit).
+    Credit { edge: EdgeId, amount: Amount },
+    /// A payment's final settlement landed: it is no longer in flight.
+    Done,
+}
+
+/// The discrete-event [`PaymentNetwork`] backend. See the module docs
+/// for the timing model; see [`DesEngine`](super::engine::DesEngine) for
+/// the executor that feeds it timed arrivals.
+pub struct DesNetwork {
+    inner: Network,
+    latency: LatencyModel,
+    queue: EventQueue<Settle>,
+    /// The current sender-local virtual clock.
+    now: SimTime,
+    /// Monotone message counter feeding the latency model.
+    msg_tick: u64,
+    /// Micros currently escrowed (debited but not yet settled).
+    escrow: u128,
+    /// Micros settled out of the channel system (commits over
+    /// unidirectional hops).
+    exited: u128,
+    /// `inner.total_funds()` at construction, in micros.
+    initial_total: u128,
+    check_conservation: bool,
+    in_flight: u64,
+    peak_in_flight: u64,
+    /// Latest fire time ever scheduled or applied — the run's makespan.
+    horizon: SimTime,
+}
+
+impl DesNetwork {
+    /// Wraps a network in the discrete-event backend, starting the
+    /// virtual clock at [`SimTime::ZERO`].
+    pub fn new(inner: Network, config: DesConfig) -> Self {
+        let initial_total = inner.total_funds().micros() as u128;
+        DesNetwork {
+            inner,
+            latency: config.latency,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            msg_tick: 0,
+            escrow: 0,
+            exited: 0,
+            initial_total,
+            check_conservation: config.check_conservation,
+            in_flight: 0,
+            peak_in_flight: 0,
+            horizon: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time (the active sender's local clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Metrics collected so far (delegates to the wrapped [`Network`]).
+    pub fn metrics(&self) -> &Metrics {
+        self.inner.metrics()
+    }
+
+    /// Installs a fault-injection configuration on the wrapped network.
+    /// Under the DES backend stale probes already arise naturally from
+    /// delay; injection remains available for probe *loss*.
+    pub fn set_faults(&mut self, faults: FaultConfig) {
+        self.inner.set_faults(faults);
+    }
+
+    /// Payments currently in flight (admitted, not yet fully settled).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// The maximum number of concurrently in-flight payments observed.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight
+    }
+
+    /// Settlement events applied so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.queue.delivered()
+    }
+
+    /// The latest virtual time any event was scheduled or applied — the
+    /// run's makespan once the queue is drained.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Micros currently escrowed across all in-flight parts.
+    pub fn escrow_micros(&self) -> u128 {
+        self.escrow
+    }
+
+    /// Channel balances + escrow + settled-out funds, in micros. Equal
+    /// to the initial total at every event boundary (the conservation
+    /// invariant; asserted per event under
+    /// [`DesConfig::check_conservation`]).
+    pub fn conserved_total_micros(&self) -> u128 {
+        self.inner.total_funds().micros() as u128 + self.escrow + self.exited
+    }
+
+    /// The initial total funds, in micros.
+    pub fn initial_total_micros(&self) -> u128 {
+        self.initial_total
+    }
+
+    /// Advances the active sender clock to `t`, applying every
+    /// settlement event scheduled at or before it. The engine calls this
+    /// at each arrival; `t` may be earlier than a previous sender's
+    /// clock (clocks are per-sender), which applies nothing.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.drain_until(t);
+        self.now = t;
+    }
+
+    /// Applies every pending settlement event and advances the clock to
+    /// the run's horizon. Call at the end of a run before reading final
+    /// balances.
+    pub fn drain_all(&mut self) {
+        self.drain_until(SimTime::MAX);
+        self.now = self.now.max(self.horizon);
+    }
+
+    /// Drains the wrapped network back out. Pending settlements are
+    /// applied first so no escrow is lost.
+    pub fn into_inner(mut self) -> Network {
+        self.drain_all();
+        self.inner
+    }
+
+    fn drain_until(&mut self, horizon: SimTime) {
+        while let Some((fire, settle)) = self.queue.pop_before(horizon) {
+            self.apply(fire, settle);
+        }
+    }
+
+    fn apply(&mut self, fire: SimTime, settle: Settle) {
+        self.horizon = self.horizon.max(fire);
+        match settle {
+            Settle::Restore { edge, amount } => {
+                self.escrow -= amount.micros() as u128;
+                let bal = self.inner.balance(edge).saturating_add(amount);
+                self.inner.set_balance(edge, bal);
+            }
+            Settle::Credit { edge, amount } => {
+                self.escrow -= amount.micros() as u128;
+                match self.inner.graph().reverse_edge(edge) {
+                    Some(rev) => {
+                        let bal = self.inner.balance(rev).saturating_add(amount);
+                        self.inner.set_balance(rev, bal);
+                    }
+                    None => self.exited += amount.micros() as u128,
+                }
+            }
+            Settle::Done => {
+                self.in_flight -= 1;
+            }
+        }
+        if self.check_conservation {
+            assert_eq!(
+                self.conserved_total_micros(),
+                self.initial_total,
+                "funds not conserved after event at {fire}"
+            );
+        }
+    }
+
+    fn schedule(&mut self, fire: SimTime, settle: Settle) {
+        self.horizon = self.horizon.max(fire);
+        self.queue.schedule(fire, settle);
+    }
+
+    /// One link delay for the next message crossing `edge`.
+    fn hop_delay(&mut self, edge: Option<EdgeId>) -> SimTime {
+        let d = self.latency.delay(edge, self.msg_tick);
+        self.msg_tick += 1;
+        d
+    }
+}
+
+impl PaymentNetwork for DesNetwork {
+    type Session<'a> = DesSession<'a>;
+
+    fn graph(&self) -> &DiGraph {
+        self.inner.graph()
+    }
+
+    /// Probes over virtual time: the request takes one link delay per
+    /// hop out, the `PROBE_ACK` one per hop back. Balances are
+    /// snapshotted when the probe reaches the farthest hop — any
+    /// settlement wave landing after that instant is invisible, which is
+    /// exactly how probe reports go stale under load.
+    fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
+        let mut forward = SimTime::ZERO;
+        let mut back = SimTime::ZERO;
+        let edges: Vec<Option<EdgeId>> = path
+            .channels()
+            .map(|(u, v)| self.inner.graph().edge(u, v))
+            .collect();
+        for e in &edges {
+            forward += self.hop_delay(*e);
+        }
+        for e in edges.iter().rev() {
+            back += self.hop_delay(*e);
+        }
+        let snapshot_at = self.now + forward;
+        self.drain_until(snapshot_at);
+        let report = self.inner.probe_path(path);
+        self.now = snapshot_at + back;
+        report
+    }
+
+    fn begin_payment(&mut self, payment: &Payment, class: PaymentClass) -> DesSession<'_> {
+        self.inner
+            .metrics_mut()
+            .record_attempt(class, payment.amount);
+        self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+        let admitted = self.now;
+        DesSession {
+            net: self,
+            demand: payment.amount,
+            class,
+            admitted,
+            parts: Vec::new(),
+            fees_accrued: Amount::ZERO,
+            closed: false,
+        }
+    }
+}
+
+/// An escrowed part on the DES backend.
+struct DesPart {
+    edges: Vec<EdgeId>,
+    amount: Amount,
+}
+
+/// An in-flight atomic multi-path payment on the [`DesNetwork`] backend:
+/// the same two-phase semantics as
+/// [`NetworkSession`](crate::NetworkSession), with phase-2 settlement
+/// deferred into the event queue (see the module docs).
+pub struct DesSession<'a> {
+    net: &'a mut DesNetwork,
+    demand: Amount,
+    class: PaymentClass,
+    admitted: SimTime,
+    parts: Vec<DesPart>,
+    fees_accrued: Amount,
+    closed: bool,
+}
+
+impl DesSession<'_> {
+    /// Schedules the final settlement marker and observes completion.
+    fn finish(&mut self, settle_end: SimTime, success: bool) {
+        if success {
+            self.net
+                .inner
+                .metrics_mut()
+                .observe_latency(settle_end.saturating_sub(self.admitted).micros());
+        }
+        self.net.schedule(settle_end, Settle::Done);
+        self.closed = true;
+    }
+
+    /// Launches one settlement wave per reserved part from the sender's
+    /// current clock — the `CONFIRM` (commit) or `REVERSE` (abort) pass
+    /// of §5.1 — scheduling `make(edge, amount)` for the instant the
+    /// wave reaches each hop. Consumes the reserved parts and returns
+    /// when the last wave lands.
+    fn schedule_waves(&mut self, make: fn(EdgeId, Amount) -> Settle) -> SimTime {
+        let mut settle_end = self.net.now;
+        for part in std::mem::take(&mut self.parts) {
+            let mut t = self.net.now;
+            for e in part.edges {
+                t += self.net.hop_delay(Some(e));
+                self.net.schedule(t, make(e, part.amount));
+            }
+            settle_end = settle_end.max(t);
+        }
+        settle_end
+    }
+
+    fn rollback(&mut self) {
+        let settle_end = self.schedule_waves(|edge, amount| Settle::Restore { edge, amount });
+        self.finish(settle_end, false);
+    }
+}
+
+impl PaymentSession for DesSession<'_> {
+    /// Reserves `amount` along `path` over virtual time. Each hop is
+    /// escrowed when the phase-1 `COMMIT` reaches it; on failure the
+    /// NACK retraces the debited hops, scheduling their escrow release
+    /// as it passes, and the sender's clock lands when the NACK returns.
+    /// On success the sender's clock lands when the last hop's ACK
+    /// returns.
+    fn try_send_part(&mut self, path: &Path, amount: Amount) -> Result<(), PartFailure> {
+        assert!(!self.closed, "session already closed");
+        if amount.is_zero() {
+            return Ok(());
+        }
+        let mut t = self.net.now;
+        let mut debited: Vec<EdgeId> = Vec::with_capacity(path.hops());
+        for (hop, (u, v)) in path.channels().enumerate() {
+            let edge = self.net.inner.graph().edge(u, v);
+            t += self.net.hop_delay(edge);
+            self.net.drain_until(t);
+            self.net.inner.metrics_mut().commit_messages += 1;
+            let available = match edge {
+                Some(e) => {
+                    let bal = self.net.inner.balance(e);
+                    if bal >= amount {
+                        self.net.inner.set_balance(e, bal - amount);
+                        self.net.escrow += amount.micros() as u128;
+                        debited.push(e);
+                        continue;
+                    }
+                    bal
+                }
+                None => Amount::ZERO,
+            };
+            // NACK back to the sender, releasing escrow hop by hop.
+            for &d in debited.iter().rev() {
+                t += self.net.hop_delay(Some(d));
+                self.net.schedule(t, Settle::Restore { edge: d, amount });
+            }
+            self.net.now = t;
+            return Err(PartFailure {
+                failed_hop: hop,
+                available,
+            });
+        }
+        // ACK retraces the path to the sender; escrow is held.
+        for &e in debited.iter().rev() {
+            t += self.net.hop_delay(Some(e));
+        }
+        self.net.now = t;
+        for &e in &debited {
+            self.fees_accrued = self
+                .fees_accrued
+                .saturating_add(self.net.inner.fee_policy(e).fee(amount));
+        }
+        self.parts.push(DesPart {
+            edges: debited,
+            amount,
+        });
+        Ok(())
+    }
+
+    fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
+        self.net.probe_path(path)
+    }
+
+    fn reserved(&self) -> Amount {
+        self.parts.iter().map(|p| p.amount).sum()
+    }
+
+    fn remaining(&self) -> Amount {
+        self.demand.saturating_sub(self.reserved())
+    }
+
+    /// Commits every reserved part: one `CONFIRM` wave per part leaves
+    /// the sender now; each hop's reverse-direction credit is scheduled
+    /// for the instant the wave reaches it. The payment's completion
+    /// latency (admission → last settlement) is recorded in the metrics
+    /// histogram.
+    ///
+    /// # Panics
+    /// Panics if the reserved total does not cover the demand.
+    fn commit(mut self) -> RouteOutcome {
+        assert!(
+            self.is_satisfied(),
+            "commit called with unsatisfied demand (reserved {} of {})",
+            self.reserved(),
+            self.demand
+        );
+        let paths_used = self.parts.len() as u32;
+        let settle_end = self.schedule_waves(|edge, amount| Settle::Credit { edge, amount });
+        self.net.inner.metrics_mut().record_success(
+            self.class,
+            self.demand,
+            self.fees_accrued,
+            paths_used as u64,
+        );
+        self.finish(settle_end, true);
+        RouteOutcome::Success {
+            volume: self.demand,
+            fees: self.fees_accrued,
+            paths_used,
+        }
+    }
+
+    fn abort(mut self) {
+        self.rollback();
+    }
+}
+
+impl Drop for DesSession<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcn_types::{NodeId, TxId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A 4-node line with bidirectional channels of 10 units each way.
+    fn line_net() -> Network {
+        let mut g = DiGraph::new(4);
+        g.add_channel(n(0), n(1)).unwrap();
+        g.add_channel(n(1), n(2)).unwrap();
+        g.add_channel(n(2), n(3)).unwrap();
+        Network::uniform(g, Amount::from_units(10))
+    }
+
+    fn des(latency_ms: u64) -> DesNetwork {
+        DesNetwork::new(
+            line_net(),
+            DesConfig {
+                latency: LatencyModel::constant_ms(latency_ms),
+                check_conservation: true,
+            },
+        )
+    }
+
+    fn payment(amount: u64) -> Payment {
+        Payment::new(TxId(1), n(0), n(3), Amount::from_units(amount))
+    }
+
+    fn path_0123() -> Path {
+        Path::new(vec![n(0), n(1), n(2), n(3)], None).unwrap()
+    }
+
+    #[test]
+    fn probe_costs_a_round_trip_of_virtual_time() {
+        let mut net = des(10);
+        let report = net.probe_path(&path_0123()).unwrap();
+        assert_eq!(report.bottleneck(), Amount::from_units(10));
+        // 3 hops out + 3 hops back at 10ms each.
+        assert_eq!(net.now(), SimTime::from_millis(60));
+        assert_eq!(net.metrics().probe_messages, 3);
+    }
+
+    #[test]
+    fn reservation_holds_escrow_until_commit_wave_lands() {
+        let mut net = des(10);
+        let p = payment(4);
+        let mut s = net.begin_payment(&p, PaymentClass::Mice);
+        s.try_send_part(&path_0123(), Amount::from_units(4))
+            .unwrap();
+        let out = s.commit();
+        assert!(out.is_success());
+        // Escrow is still held: the CONFIRM wave has not fired yet.
+        assert_eq!(
+            net.escrow_micros(),
+            3 * Amount::from_units(4).micros() as u128
+        );
+        assert_eq!(net.in_flight(), 1);
+        // The wave lands hop by hop; drain everything.
+        net.drain_all();
+        assert_eq!(net.escrow_micros(), 0);
+        assert_eq!(net.in_flight(), 0);
+        let g = net.graph().clone();
+        let rev = g.edge(n(1), n(0)).unwrap();
+        let inner = net.into_inner();
+        assert_eq!(inner.balance(rev), Amount::from_units(14));
+        assert_eq!(inner.total_funds(), Amount::from_units(60));
+    }
+
+    #[test]
+    fn failed_part_nacks_back_and_restores_later() {
+        // Drain the middle channel so hop 1 NACKs.
+        let mut inner = line_net();
+        let mid = inner.graph().edge(n(1), n(2)).unwrap();
+        inner.set_balance(mid, Amount::from_units(2));
+        let mut net = DesNetwork::new(
+            inner,
+            DesConfig {
+                latency: LatencyModel::constant_ms(10),
+                check_conservation: true,
+            },
+        );
+        let p = payment(5);
+        let mut s = net.begin_payment(&p, PaymentClass::Mice);
+        let err = s
+            .try_send_part(&path_0123(), Amount::from_units(5))
+            .unwrap_err();
+        assert_eq!(err.failed_hop, 1);
+        assert_eq!(err.available, Amount::from_units(2));
+        s.abort();
+        // 2 hops forward + 1 hop NACK back = 30ms on the sender clock.
+        assert_eq!(net.now(), SimTime::from_millis(30));
+        // Hop 0's escrow was scheduled for release but has not fired.
+        assert_eq!(net.escrow_micros(), Amount::from_units(5).micros() as u128);
+        net.drain_all();
+        assert_eq!(net.escrow_micros(), 0);
+        let first = net.graph().edge(n(0), n(1)).unwrap();
+        let inner = net.into_inner();
+        assert_eq!(inner.balance(first), Amount::from_units(10));
+    }
+
+    #[test]
+    fn concurrent_payment_contends_with_held_escrow() {
+        // Payment A reserves the full line; payment B admitted before
+        // A's settlement wave lands must fail, even though B's probe at
+        // admission time saw the pre-A balances go stale.
+        let mut net = des(10);
+        let pa = Payment::new(TxId(1), n(0), n(3), Amount::from_units(8));
+        let mut sa = net.begin_payment(&pa, PaymentClass::Mice);
+        sa.try_send_part(&path_0123(), Amount::from_units(8))
+            .unwrap();
+        assert!(sa.commit().is_success());
+        // B arrives 1ms later — long before A's 30ms settlement wave.
+        net.advance_to(SimTime::from_millis(1));
+        let pb = Payment::new(TxId(2), n(0), n(3), Amount::from_units(5));
+        let mut sb = net.begin_payment(&pb, PaymentClass::Mice);
+        let err = sb.try_send_part(&path_0123(), Amount::from_units(5));
+        assert!(err.is_err(), "B must contend with A's escrow");
+        sb.abort();
+        assert_eq!(net.peak_in_flight(), 2);
+        net.drain_all();
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+    }
+
+    #[test]
+    fn later_payment_sees_released_escrow() {
+        let mut net = des(10);
+        let pa = Payment::new(TxId(1), n(0), n(3), Amount::from_units(8));
+        let mut sa = net.begin_payment(&pa, PaymentClass::Mice);
+        sa.try_send_part(&path_0123(), Amount::from_units(8))
+            .unwrap();
+        assert!(sa.commit().is_success());
+        // B arrives after A's settlement horizon: 0→3 is drained to 2,
+        // but the reverse direction has been credited.
+        net.advance_to(SimTime::from_secs(10));
+        let pb = Payment::new(TxId(2), n(3), n(0), Amount::from_units(15));
+        let path_back = Path::new(vec![n(3), n(2), n(1), n(0)], None).unwrap();
+        let mut sb = net.begin_payment(&pb, PaymentClass::Mice);
+        sb.try_send_part(&path_back, Amount::from_units(15))
+            .unwrap();
+        assert!(sb.commit().is_success());
+        net.drain_all();
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+    }
+
+    #[test]
+    fn dropping_session_schedules_reverse_wave() {
+        let mut net = des(10);
+        {
+            let p = payment(5);
+            let mut s = net.begin_payment(&p, PaymentClass::Mice);
+            s.try_send_part(&path_0123(), Amount::from_units(5))
+                .unwrap();
+            // dropped without commit
+        }
+        assert!(net.escrow_micros() > 0, "REVERSE wave still in flight");
+        net.drain_all();
+        assert_eq!(net.escrow_micros(), 0);
+        assert_eq!(net.in_flight(), 0);
+        let inner = net.into_inner();
+        assert_eq!(inner.total_funds(), Amount::from_units(60));
+    }
+
+    #[test]
+    fn zero_latency_matches_instantaneous_network() {
+        let mut des_net = DesNetwork::new(
+            line_net(),
+            DesConfig {
+                latency: LatencyModel::instant(),
+                check_conservation: true,
+            },
+        );
+        let mut plain = line_net();
+        for (id, amount) in [(1u64, 4u64), (2, 9), (3, 11), (4, 10)] {
+            let p = Payment::new(TxId(id), n(0), n(3), Amount::from_units(amount));
+            let a = crate::PaymentNetwork::send_single_path(
+                &mut des_net,
+                &p,
+                PaymentClass::Mice,
+                &path_0123(),
+            );
+            des_net.drain_all();
+            let b = plain.send_single_path(&p, PaymentClass::Mice, &path_0123());
+            assert_eq!(a, b, "outcome diverged on payment {id}");
+        }
+        assert_eq!(des_net.now(), SimTime::ZERO);
+        let m = des_net.metrics();
+        let pm = plain.metrics();
+        assert_eq!(m.total(), pm.total());
+        assert_eq!(m.probe_messages, pm.probe_messages);
+        assert_eq!(m.commit_messages, pm.commit_messages);
+        let des_inner = des_net.into_inner();
+        for (e, _, _) in plain.graph().edges() {
+            assert_eq!(des_inner.balance(e), plain.balance(e));
+        }
+    }
+}

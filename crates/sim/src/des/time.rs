@@ -1,0 +1,133 @@
+//! Virtual time.
+//!
+//! The discrete-event engine never reads a wall clock: every timestamp
+//! is a [`SimTime`] — microseconds of *virtual* time since the start of
+//! the run. Arithmetic saturates, so a pathological latency model
+//! cannot wrap the clock backwards.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time (microseconds since the start of the run).
+///
+/// `SimTime` doubles as a duration: the engine only ever adds durations
+/// to points, and both are non-negative microsecond counts.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of every run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// A time from a microsecond count.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// A time from a millisecond count.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms.saturating_mul(1_000))
+    }
+
+    /// A time from a second count.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s.saturating_mul(1_000_000))
+    }
+
+    /// The microsecond count.
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The time as fractional milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The time as fractional seconds (for throughput math).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamped at [`SimTime::ZERO`]).
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl core::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(3).micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).micros(), 2_000_000);
+        assert_eq!(SimTime::from_micros(7).micros(), 7);
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_micros(2500).as_millis_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime::MAX + SimTime::from_micros(1), SimTime::MAX);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_micros(5)),
+            SimTime::ZERO
+        );
+        let mut t = SimTime::from_micros(10);
+        t += SimTime::from_micros(5);
+        assert_eq!(t, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_micros(3);
+        let b = SimTime::from_micros(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn display_picks_a_readable_unit() {
+        assert_eq!(SimTime::from_micros(12).to_string(), "12µs");
+        assert_eq!(SimTime::from_micros(2_500).to_string(), "2.500ms");
+        assert_eq!(SimTime::from_secs(3).to_string(), "3.000s");
+    }
+}

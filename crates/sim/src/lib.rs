@@ -26,6 +26,11 @@
 //!   fees, the exact quantities plotted in Figures 6–13.
 //! * [`FaultConfig`] — optional fault injection (stale probes, probe
 //!   loss), in the spirit of the smoltcp examples' `--drop-chance`.
+//! * [`des`] — the deterministic discrete-event engine: a second,
+//!   time-aware backend behind the same traits, where payments overlap
+//!   in virtual time, reservations hold escrow until delayed
+//!   settlement waves land, and [`Metrics`] gains completion-latency
+//!   percentiles, peak in-flight, and throughput.
 //!
 //! Total funds are conserved exactly (integer micro-units): every debit
 //! of a forward balance is matched by a credit of escrow and ultimately
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod des;
 pub mod fault;
 pub mod metrics;
 pub mod network;
@@ -42,8 +48,9 @@ pub mod outcome;
 pub mod router;
 
 pub use backend::{PartFailure, PaymentNetwork, PaymentSession};
+pub use des::{DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, SimTime};
 pub use fault::FaultConfig;
-pub use metrics::{ClassMetrics, Metrics};
+pub use metrics::{ClassMetrics, LatencyHistogram, Metrics};
 pub use network::{ChannelInfo, Network, NetworkSession, ProbeReport};
 pub use outcome::{FailureReason, RouteOutcome};
 pub use router::Router;

@@ -32,8 +32,112 @@ impl ClassMetrics {
     }
 }
 
+/// A deterministic log-bucketed histogram of completion latencies in
+/// virtual microseconds.
+///
+/// Values below 16µs get exact buckets; larger values land in one of 8
+/// sub-buckets per power of two, so quantile estimates carry at most
+/// ~6% relative error while the histogram stays a few hundred bytes no
+/// matter how many observations it absorbs. The discrete-event backend
+/// ([`des`](crate::des)) records one observation per *successful*
+/// payment (admission → final settlement); the instantaneous backend
+/// records nothing, keeping its metrics bit-identical to before the
+/// histogram existed.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Sparse `(bucket index, count)` pairs, sorted by index.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation, in microseconds.
+    pub fn observe(&mut self, us: u64) {
+        let idx = Self::bucket_of(us);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observation, in microseconds (zero when empty).
+    pub fn max_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max_us
+        }
+    }
+
+    /// Mean observation, in microseconds (zero when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in microseconds, estimated
+    /// from the bucket containing the rank and clamped to the observed
+    /// min/max. Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Self::representative(idx).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Bucket index: exact below 16, then 8 sub-buckets per octave.
+    fn bucket_of(us: u64) -> u32 {
+        if us < 16 {
+            return us as u32;
+        }
+        let k = 63 - us.leading_zeros(); // 4..=63
+        let sub = ((us >> (k - 3)) & 7) as u32;
+        16 + (k - 4) * 8 + sub
+    }
+
+    /// Midpoint of a bucket's value range.
+    fn representative(idx: u32) -> u64 {
+        if idx < 16 {
+            return u64::from(idx);
+        }
+        let k = (idx - 16) / 8 + 4;
+        let sub = u64::from((idx - 16) % 8);
+        let width = 1u64 << (k - 3);
+        (1u64 << k) + sub * width + width / 2
+    }
+}
+
 /// Aggregated simulation metrics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Elephant-class counters.
     pub elephant: ClassMetrics,
@@ -49,6 +153,10 @@ pub struct Metrics {
     pub fees_paid: Amount,
     /// Number of distinct paths used by successful payments.
     pub paths_used: u64,
+    /// Completion-latency histogram (virtual µs). Populated only by
+    /// time-aware backends ([`des`](crate::des)); the instantaneous
+    /// simulator leaves it empty.
+    pub latency: LatencyHistogram,
 }
 
 impl Metrics {
@@ -72,6 +180,13 @@ impl Metrics {
         c.success_volume = c.success_volume.saturating_add(volume);
         self.fees_paid = self.fees_paid.saturating_add(fees);
         self.paths_used += paths;
+    }
+
+    /// Records one payment-completion latency, in virtual microseconds.
+    /// Time-aware backends call this once per successful payment
+    /// (admission to final settlement).
+    pub fn observe_latency(&mut self, us: u64) {
+        self.latency.observe(us);
     }
 
     fn class_mut(&mut self, class: PaymentClass) -> &mut ClassMetrics {
@@ -143,6 +258,54 @@ mod tests {
         let m = Metrics::default();
         assert_eq!(m.success_ratio(), 0.0);
         assert_eq!(m.fee_ratio_percent(), 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_close() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.observe(us * 1000); // 1ms..1000ms
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_us(), 1_000_000);
+        let p50 = h.quantile_us(0.5) as f64;
+        let p95 = h.quantile_us(0.95) as f64;
+        let p99 = h.quantile_us(0.99) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.07, "p50 {p50}");
+        assert!((p95 - 950_000.0).abs() / 950_000.0 < 0.07, "p95 {p95}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.07, "p99 {p99}");
+        assert!((h.mean_us() - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_histogram_edge_cases() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        let mut h = LatencyHistogram::default();
+        h.observe(0);
+        h.observe(7);
+        // Values below 16µs are bucketed exactly.
+        assert_eq!(h.quantile_us(0.0), 0);
+        assert_eq!(h.quantile_us(1.0), 7);
+        let mut single = LatencyHistogram::default();
+        single.observe(123_456);
+        // Quantiles of a single observation clamp to it exactly.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile_us(q), 123_456);
+        }
+    }
+
+    #[test]
+    fn observe_latency_flows_into_metrics() {
+        let mut m = Metrics::default();
+        assert_eq!(m.latency.count(), 0);
+        m.observe_latency(5_000);
+        m.observe_latency(9_000);
+        assert_eq!(m.latency.count(), 2);
+        assert_eq!(m.latency.max_us(), 9_000);
     }
 
     #[test]

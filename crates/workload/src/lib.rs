@@ -18,13 +18,19 @@
 //!   nodes / 36,016 channels) with skewed channel funds (medians $250
 //!   and 500,000 satoshi respectively), plus the Watts–Strogatz testbed
 //!   topologies of §5.2 with U[lo, hi) capacities.
-//! * [`trace`] — end-to-end trace generation and JSON-lines I/O.
+//! * [`arrivals`] — arrival processes for the discrete-event engine:
+//!   seeded Poisson offered load and fixed-gap controls, plus helpers
+//!   stamping traces into timed workloads.
+//! * [`trace`] — end-to-end trace generation and JSON-lines I/O
+//!   (timed and untimed; `time_micros` stamps replay through
+//!   `pcn_sim::des`).
 //! * [`stats`] — CDF/quantile/volume-share/recurrence statistics used to
 //!   validate calibration and to regenerate Figures 3 and 4.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod recurrence;
 pub mod size;
 pub mod stats;

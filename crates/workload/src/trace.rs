@@ -10,6 +10,7 @@
 use crate::recurrence::{PairGenerator, RecurrenceConfig};
 use crate::size::SizeModel;
 use pcn_graph::DiGraph;
+use pcn_sim::SimTime;
 use pcn_types::{Amount, Payment, PcnError, Result, TxId};
 use serde::{Deserialize, Serialize};
 
@@ -87,9 +88,9 @@ pub fn generate_trace(graph: &DiGraph, config: &TraceConfig) -> Vec<Payment> {
     out
 }
 
-/// One JSON-lines record (mirrors the open-sourced trace format of the
-/// paper's artifact: sender, receiver, volume, time).
-#[derive(Serialize, Deserialize)]
+/// One untimed JSON-lines record — the original wire format (sender,
+/// receiver, volume), byte-identical to what this crate always wrote.
+#[derive(Serialize)]
 struct TraceRecord {
     id: u64,
     sender: u32,
@@ -97,39 +98,108 @@ struct TraceRecord {
     amount_micros: u64,
 }
 
-/// Serializes a trace as JSON lines.
-pub fn to_jsonl(trace: &[Payment]) -> String {
-    let mut out = String::new();
-    for p in trace {
-        let rec = TraceRecord {
-            id: p.id.0,
-            sender: p.sender.0,
-            receiver: p.receiver.0,
-            amount_micros: p.amount.micros(),
-        };
-        out.push_str(&serde_json::to_string(&rec).expect("record serializes"));
-        out.push('\n');
-    }
-    out
+/// One timed JSON-lines record (mirrors the open-sourced trace format
+/// of the paper's artifact: sender, receiver, volume, time).
+/// `time_micros` is the arrival timestamp in virtual microseconds;
+/// parsing accepts untimed records too (the field defaults to absent).
+#[derive(Serialize, Deserialize)]
+struct TimedTraceRecord {
+    id: u64,
+    sender: u32,
+    receiver: u32,
+    amount_micros: u64,
+    #[serde(default)]
+    time_micros: Option<u64>,
 }
 
-/// Parses a JSON-lines trace.
-pub fn from_jsonl(text: &str) -> Result<Vec<Payment>> {
+impl TimedTraceRecord {
+    fn payment(&self) -> Payment {
+        Payment::new(
+            TxId(self.id),
+            pcn_types::NodeId(self.sender),
+            pcn_types::NodeId(self.receiver),
+            Amount::from_micros(self.amount_micros),
+        )
+    }
+}
+
+fn records_from_jsonl(text: &str) -> Result<Vec<TimedTraceRecord>> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: TraceRecord = serde_json::from_str(line)
+        let rec: TimedTraceRecord = serde_json::from_str(line)
             .map_err(|e| PcnError::InvalidConfig(format!("trace line {}: {e}", lineno + 1)))?;
-        out.push(Payment::new(
-            TxId(rec.id),
-            pcn_types::NodeId(rec.sender),
-            pcn_types::NodeId(rec.receiver),
-            Amount::from_micros(rec.amount_micros),
-        ));
+        out.push(rec);
     }
     Ok(out)
+}
+
+fn push_record(out: &mut String, rec: &impl Serialize) {
+    out.push_str(&serde_json::to_string(rec).expect("record serializes"));
+    out.push('\n');
+}
+
+/// Serializes an untimed trace as JSON lines (no `time_micros` field —
+/// the pre-DES format, unchanged).
+pub fn to_jsonl(trace: &[Payment]) -> String {
+    let mut out = String::new();
+    for p in trace {
+        push_record(
+            &mut out,
+            &TraceRecord {
+                id: p.id.0,
+                sender: p.sender.0,
+                receiver: p.receiver.0,
+                amount_micros: p.amount.micros(),
+            },
+        );
+    }
+    out
+}
+
+/// Parses a JSON-lines trace (timed or untimed), ignoring any arrival
+/// timestamps (use [`from_jsonl_timed`] to consume them).
+pub fn from_jsonl(text: &str) -> Result<Vec<Payment>> {
+    Ok(records_from_jsonl(text)?
+        .iter()
+        .map(TimedTraceRecord::payment)
+        .collect())
+}
+
+/// Serializes a timed workload (the `pcn_sim::des` engine's shape) as
+/// JSON lines with `time_micros` stamps.
+pub fn to_jsonl_timed(workload: &[(SimTime, Payment)]) -> String {
+    let mut out = String::new();
+    for (t, p) in workload {
+        push_record(
+            &mut out,
+            &TimedTraceRecord {
+                id: p.id.0,
+                sender: p.sender.0,
+                receiver: p.receiver.0,
+                amount_micros: p.amount.micros(),
+                time_micros: Some(t.micros()),
+            },
+        );
+    }
+    out
+}
+
+/// Parses a JSON-lines trace into a timed workload, replaying each
+/// record's `time_micros` stamp — the trace-driven arrival process.
+/// Records without a stamp arrive at virtual time zero.
+pub fn from_jsonl_timed(text: &str) -> Result<Vec<(SimTime, Payment)>> {
+    Ok(records_from_jsonl(text)?
+        .iter()
+        .map(|rec| {
+            (
+                SimTime::from_micros(rec.time_micros.unwrap_or(0)),
+                rec.payment(),
+            )
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -183,5 +253,30 @@ mod tests {
         assert!(from_jsonl("not json\n").is_err());
         assert!(from_jsonl("{\"id\":0}\n").is_err());
         assert!(from_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn timed_jsonl_round_trip() {
+        let g = generators::watts_strogatz(30, 4, 0.2, 3);
+        let trace = generate_trace(&g, &TraceConfig::ripple(40, 11));
+        let times = crate::arrivals::poisson_times(40, 100.0, 5);
+        let workload = crate::arrivals::stamp(&trace, &times);
+        let text = to_jsonl_timed(&workload);
+        assert!(text.contains("time_micros"));
+        let back = from_jsonl_timed(&text).unwrap();
+        assert_eq!(workload, back);
+        // The untimed reader accepts the same file and drops the stamps.
+        assert_eq!(from_jsonl(&text).unwrap(), trace);
+        // The untimed writer keeps the original format: no time field.
+        assert!(!to_jsonl(&trace).contains("time_micros"));
+    }
+
+    #[test]
+    fn untimed_lines_replay_at_time_zero() {
+        let line = "{\"id\":3,\"sender\":0,\"receiver\":1,\"amount_micros\":2000000}\n";
+        let timed = from_jsonl_timed(line).unwrap();
+        assert_eq!(timed.len(), 1);
+        assert_eq!(timed[0].0, SimTime::ZERO);
+        assert_eq!(timed[0].1.amount, Amount::from_units(2));
     }
 }

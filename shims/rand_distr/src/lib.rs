@@ -1,7 +1,8 @@
 //! Minimal, dependency-free stand-in for the `rand_distr` crate.
 //!
-//! Vendors only what the workspace uses: the [`Distribution`] trait and a
-//! [`LogNormal`] distribution (standard normal via Box–Muller).
+//! Vendors only what the workspace uses: the [`Distribution`] trait, a
+//! [`LogNormal`] distribution (standard normal via Box–Muller), and an
+//! [`Exp`] distribution (inverse-CDF) for Poisson arrival processes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,10 +65,61 @@ impl Distribution<f64> for LogNormal {
     }
 }
 
+/// The exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Sampled by inverse CDF: `-ln(1 - U) / lambda` with `U` uniform in
+/// `[0, 1)` — the inter-arrival law of a Poisson process.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    /// Returns an error if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error("Exp: lambda must be finite and positive"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = f64::random(rng); // in [0, 1); ln(1 - u) is finite
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::prelude::*;
+
+    #[test]
+    fn exp_rejects_bad_parameters() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exp_mean_is_roughly_one_over_lambda() {
+        let d = Exp::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+        // Samples are non-negative.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
 
     #[test]
     fn rejects_bad_parameters() {

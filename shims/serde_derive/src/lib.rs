@@ -4,8 +4,9 @@
 //! offline build has no `syn`/`quote`) and emits impls of the JSON-oriented
 //! `serde::Serialize` / `serde::Deserialize` shim traits. Supports the
 //! shapes and attributes the workspace uses: named structs, tuple structs,
-//! unit/tuple/named enum variants, `#[serde(transparent)]`, and
-//! `#[serde(skip)]`. Generic items are rejected.
+//! unit/tuple/named enum variants, `#[serde(transparent)]`,
+//! `#[serde(skip)]`, and `#[serde(default)]` (a missing field
+//! deserializes to `Default::default()`). Generic items are rejected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,12 +17,14 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct SerdeAttrs {
     transparent: bool,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
 struct NamedField {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -146,6 +149,7 @@ impl Cursor {
                             match i.to_string().as_str() {
                                 "transparent" => attrs.transparent = true,
                                 "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
                                 _ => {}
                             }
                         }
@@ -257,6 +261,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
         fields.push(NamedField {
             name,
             skip: attrs.skip,
+            default: attrs.default,
         });
         if !c.skip_type_until_comma() {
             return Ok(fields);
@@ -470,6 +475,8 @@ fn gen_named_body(fields: &[NamedField], path: &str) -> String {
                 "{}: ::core::default::Default::default(),\n",
                 f.name
             ));
+        } else if f.default {
+            b.push_str(&format!("{0}: __f_{0}.unwrap_or_default(),\n", f.name));
         } else {
             b.push_str(&format!(
                 "{0}: match __f_{0} {{\n\
