@@ -6,20 +6,29 @@
 //!
 //! Drives every scheme through the discrete-event engine
 //! (`pcn_sim::des`) on the §5.2 Watts–Strogatz testbed topology under a
-//! Poisson arrival process, and records per scheme: success ratio,
-//! delivered throughput (successful payments per *virtual* second),
-//! completion-latency percentiles, peak in-flight payments, event
-//! count, and the wall-clock cost of simulating it all. Results go to
-//! `BENCH_e2e.json` (default) so the end-to-end trajectory is tracked
-//! across PRs, next to `BENCH_maxflow.json`'s kernel trajectory.
-//! `--smoke` shrinks the run for CI.
+//! Poisson arrival process — per-hop propagation latency plus a
+//! per-node M/D/1-style service queue — and records per (scheme,
+//! offered load): success ratio, delivered throughput (successful
+//! payments per *virtual* second), completion-latency percentiles,
+//! queueing-delay percentiles, peak in-flight payments and node
+//! backlog, busiest-node utilization, event count, and the wall-clock
+//! cost of simulating it all. Results go to `BENCH_e2e.json` (default).
+//!
+//! The **committed** `BENCH_e2e.json` is the `--smoke` output: CI
+//! regenerates it every run and `bench_gate` diffs the two, failing
+//! on regressions beyond 25% in the virtual metrics and on physically
+//! suspicious shapes (e.g. identical latency percentiles across the
+//! 8× offered-load spread — the flat-curve bug service queues fixed).
+//! Both modes sweep the same loads and emit the service-time parameter
+//! in every record so the gate always compares like with like; the
+//! full-scale run happens on the weekly scheduled CI job.
 //!
 //! Everything virtual is deterministic: two runs of this binary must
 //! produce byte-identical JSON except for the `wall_ns` timing fields.
 
-use pcn_experiments::harness::{run_scheme_des, DEFAULT_MICE_FRACTION};
+use pcn_experiments::harness::{run_scheme_des, DesLoad, DEFAULT_MICE_FRACTION};
 use pcn_experiments::SimScheme;
-use pcn_sim::LatencyModel;
+use pcn_sim::{LatencyModel, ServiceModel};
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
 use serde::Serialize;
@@ -33,12 +42,17 @@ struct Record {
     payments: usize,
     offered_pps: f64,
     hop_latency_ms: u64,
+    service_time_ms: u64,
     success_ratio: f64,
     throughput_pps: f64,
     p50_latency_ms: f64,
     p95_latency_ms: f64,
     p99_latency_ms: f64,
+    p50_queue_delay_ms: f64,
+    p95_queue_delay_ms: f64,
     peak_in_flight: u64,
+    peak_backlog: u64,
+    max_node_utilization: f64,
     events: u64,
     virtual_makespan_ms: f64,
     wall_ns: u64,
@@ -70,12 +84,13 @@ fn main() {
         i += 1;
     }
 
-    let (nodes, payments, loads): (usize, usize, &[f64]) = if smoke {
-        (60, 150, &[100.0])
-    } else {
-        (200, 800, &[50.0, 400.0])
-    };
+    // Both modes sweep the same 8× load spread so the latency-vs-load
+    // shape (and the gate's flat-curve check) is present in the smoke
+    // numbers; full scale only grows the topology and trace.
+    let loads: &[f64] = &[50.0, 400.0];
+    let (nodes, payments): (usize, usize) = if smoke { (60, 200) } else { (200, 800) };
     let hop_latency_ms = 25;
+    let service_time_ms = 10;
     let seed = 1009;
     let net = testbed_topology(nodes, 1000, 1500, seed);
     let trace = generate_trace(net.graph(), &TraceConfig::ripple(payments, seed + 7));
@@ -90,17 +105,21 @@ fn main() {
                 &trace,
                 DEFAULT_MICE_FRACTION,
                 seed + 31,
-                load,
-                LatencyModel::constant_ms(hop_latency_ms),
+                DesLoad {
+                    rate_per_sec: load,
+                    latency: LatencyModel::constant_ms(hop_latency_ms),
+                    service: ServiceModel::constant_ms(service_time_ms),
+                },
             );
             let wall = start.elapsed();
             println!(
-                "{:>14} @{:>4} pps: ratio {:>5.1}% tput {:>6.1} pps p95 {:>8.1} ms peak {:>3} in flight",
+                "{:>14} @{:>4} pps: ratio {:>5.1}% tput {:>6.1} pps p95 {:>8.1} ms queue95 {:>7.1} ms peak {:>3} in flight",
                 scheme.label(),
                 load,
                 report.metrics.success_ratio() * 100.0,
                 report.throughput_pps,
                 report.latency_ms(0.95),
+                report.queue_delay_ms(0.95),
                 report.peak_in_flight,
             );
             records.push(Record {
@@ -109,12 +128,17 @@ fn main() {
                 payments,
                 offered_pps: load,
                 hop_latency_ms,
+                service_time_ms,
                 success_ratio: report.metrics.success_ratio(),
                 throughput_pps: report.throughput_pps,
                 p50_latency_ms: report.latency_ms(0.5),
                 p95_latency_ms: report.latency_ms(0.95),
                 p99_latency_ms: report.latency_ms(0.99),
+                p50_queue_delay_ms: report.queue_delay_ms(0.5),
+                p95_queue_delay_ms: report.queue_delay_ms(0.95),
                 peak_in_flight: report.peak_in_flight,
+                peak_backlog: report.peak_backlog,
+                max_node_utilization: report.max_node_utilization,
                 events: report.events,
                 virtual_makespan_ms: report.makespan.as_millis_f64(),
                 wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),

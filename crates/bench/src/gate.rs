@@ -1,0 +1,436 @@
+//! The bench-regression gate: diffs regenerated bench results against
+//! the committed `BENCH_e2e.json` / `BENCH_maxflow.json` trajectories.
+//!
+//! Two kinds of check:
+//!
+//! * **Regression deltas** — records are matched on their full
+//!   configuration key; a matched pair whose *virtual* (deterministic)
+//!   metrics regress by more than [`MAX_REGRESSION`] fails the gate.
+//!   For the e2e bench that is delivered throughput down, completion
+//!   latency up, or success ratio down. For the max-flow bench the
+//!   flow values themselves must be **identical** (they are
+//!   deterministic; any drift is a kernel bug), while wall-clock
+//!   timings only *warn* — CI runners are too noisy for a hard
+//!   wall-time gate.
+//! * **Physical suspicion** — result *shapes* that are numerically
+//!   valid but physically implausible fail even when they diff
+//!   cleanly against an equally suspicious baseline. The canonical
+//!   case (and the regression that motivated this gate): identical
+//!   completion-latency percentiles across a ≥[`FLAT_LOAD_SPREAD`]×
+//!   offered-load spread. The pre-service-queue engine committed
+//!   exactly that — bit-identical p50/p95/p99 at 50 and 400 pps —
+//!   and nothing diffing the artifact would ever have objected.
+//!
+//! The library half (this module) is pure string-in/report-out so the
+//! gate itself is testable — `crates/bench/tests/gate.rs` replays the
+//! flat PR-4 fixture and asserts the gate rejects it. The
+//! `bench_gate` binary wraps it with file IO, a Markdown delta table
+//! for `$GITHUB_STEP_SUMMARY`, and a process exit code.
+
+use serde::Deserialize;
+
+/// Maximum tolerated relative regression on matched virtual metrics
+/// (0.25 = 25%).
+pub const MAX_REGRESSION: f64 = 0.25;
+
+/// Minimum offered-load spread (max/min pps within one configuration)
+/// above which identical latency percentiles are physically suspicious.
+pub const FLAT_LOAD_SPREAD: f64 = 4.0;
+
+/// One record of `BENCH_e2e.json`. Fields added after PR 4 carry
+/// `#[serde(default)]` so the gate can still parse historical
+/// artifacts (and its own regression-test fixtures).
+#[derive(Clone, Debug, Deserialize)]
+pub struct E2eRecord {
+    /// Scheme label (`Flash`, `Spider`, …).
+    pub scheme: String,
+    /// Topology size.
+    pub nodes: usize,
+    /// Trace length.
+    pub payments: usize,
+    /// Offered load, payments per virtual second.
+    pub offered_pps: f64,
+    /// Per-hop propagation latency, ms.
+    pub hop_latency_ms: u64,
+    /// Per-node service time, ms (0 in pre-queue artifacts).
+    #[serde(default)]
+    pub service_time_ms: u64,
+    /// Fraction of payments fully delivered.
+    pub success_ratio: f64,
+    /// Successful payments per virtual second.
+    pub throughput_pps: f64,
+    /// Completion-latency percentiles, virtual ms.
+    pub p50_latency_ms: f64,
+    /// p95 completion latency, virtual ms.
+    pub p95_latency_ms: f64,
+    /// p99 completion latency, virtual ms.
+    pub p99_latency_ms: f64,
+    /// Median per-message queueing delay, virtual ms.
+    #[serde(default)]
+    pub p50_queue_delay_ms: f64,
+    /// p95 per-message queueing delay, virtual ms.
+    #[serde(default)]
+    pub p95_queue_delay_ms: f64,
+    /// Peak concurrently in-flight payments.
+    pub peak_in_flight: u64,
+    /// Peak per-node message backlog.
+    #[serde(default)]
+    pub peak_backlog: u64,
+    /// Busiest node's utilization in `[0, 1]`.
+    #[serde(default)]
+    pub max_node_utilization: f64,
+    /// Settlement events processed.
+    pub events: u64,
+    /// Virtual makespan, ms.
+    pub virtual_makespan_ms: f64,
+    /// Wall-clock cost of the simulation, ns (not gated).
+    pub wall_ns: u64,
+}
+
+impl E2eRecord {
+    fn key(&self) -> (String, usize, usize, u64, u64, u64) {
+        (
+            self.scheme.clone(),
+            self.nodes,
+            self.payments,
+            self.offered_pps.to_bits(),
+            self.hop_latency_ms,
+            self.service_time_ms,
+        )
+    }
+
+    /// The configuration group a record sweeps load within.
+    fn group(&self) -> (String, usize, usize, u64, u64) {
+        (
+            self.scheme.clone(),
+            self.nodes,
+            self.payments,
+            self.hop_latency_ms,
+            self.service_time_ms,
+        )
+    }
+}
+
+/// One record of `BENCH_maxflow.json`.
+#[derive(Clone, Debug, Deserialize)]
+pub struct MaxflowRecord {
+    /// Generator topology name.
+    pub topology: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub directed_edges: usize,
+    /// Kernel name (`edmonds-karp`, `dinic`, …).
+    pub kernel: String,
+    /// Source/sink pairs measured.
+    pub pairs: usize,
+    /// Timed iterations per pair.
+    pub iters_per_pair: usize,
+    /// Mean wall time per pair, ns (warn-only: CI hardware varies).
+    pub mean_ns_per_pair: u64,
+    /// Sum of flow values over the pairs (deterministic; hard-gated).
+    pub total_flow: u64,
+}
+
+impl MaxflowRecord {
+    fn key(&self) -> (String, usize, usize, String, usize, usize) {
+        (
+            self.topology.clone(),
+            self.nodes,
+            self.directed_edges,
+            self.kernel.clone(),
+            self.pairs,
+            self.iters_per_pair,
+        )
+    }
+}
+
+/// How bad one finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Gate fails (process exits nonzero).
+    Fail,
+    /// Reported but not fatal.
+    Warn,
+}
+
+/// One gate finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Fail or warn.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The gate's verdict: findings plus a Markdown delta table.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Everything noteworthy, fails first.
+    pub findings: Vec<Finding>,
+    /// A Markdown table of per-record deltas (for
+    /// `$GITHUB_STEP_SUMMARY`).
+    pub table: String,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no [`Severity::Fail`] findings).
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.severity != Severity::Fail)
+    }
+
+    fn fail(&mut self, message: String) {
+        self.findings.push(Finding {
+            severity: Severity::Fail,
+            message,
+        });
+    }
+
+    fn warn(&mut self, message: String) {
+        self.findings.push(Finding {
+            severity: Severity::Warn,
+            message,
+        });
+    }
+
+    fn sort(&mut self) {
+        self.findings
+            .sort_by_key(|f| if f.severity == Severity::Fail { 0 } else { 1 });
+    }
+}
+
+/// Relative change from `base` to `cand` (`+0.25` = 25% higher); zero
+/// when the baseline is zero and the candidate is too.
+fn rel_change(base: f64, cand: f64) -> f64 {
+    if base == 0.0 {
+        if cand == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (cand - base) / base
+    }
+}
+
+fn pct(x: f64) -> String {
+    if x.is_infinite() {
+        "new".into()
+    } else {
+        format!("{:+.1}%", x * 100.0)
+    }
+}
+
+/// Gates a regenerated e2e bench (`candidate`) against the committed
+/// one (`baseline`), both as JSON text. See the module docs for the
+/// checks.
+pub fn gate_e2e(baseline: &str, candidate: &str) -> Result<GateReport, String> {
+    let base: Vec<E2eRecord> =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline: {e:?}"))?;
+    let cand: Vec<E2eRecord> =
+        serde_json::from_str(candidate).map_err(|e| format!("candidate: {e:?}"))?;
+    let mut report = GateReport::default();
+    report.table.push_str(
+        "| scheme | pps | svc ms | throughput (pps) | Δ | p95 latency (ms) | Δ | success | Δ |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    let mut matched = 0usize;
+    for c in &cand {
+        let Some(b) = base.iter().find(|b| b.key() == c.key()) else {
+            report.warn(format!(
+                "no committed baseline for {} @ {} pps (nodes {}, service {}ms) — new configuration?",
+                c.scheme, c.offered_pps, c.nodes, c.service_time_ms
+            ));
+            continue;
+        };
+        matched += 1;
+        let d_tput = rel_change(b.throughput_pps, c.throughput_pps);
+        let d_p95 = rel_change(b.p95_latency_ms, c.p95_latency_ms);
+        let d_ratio = rel_change(b.success_ratio, c.success_ratio);
+        report.table.push_str(&format!(
+            "| {} | {} | {} | {:.1} → {:.1} | {} | {:.1} → {:.1} | {} | {:.1}% → {:.1}% | {} |\n",
+            c.scheme,
+            c.offered_pps,
+            c.service_time_ms,
+            b.throughput_pps,
+            c.throughput_pps,
+            pct(d_tput),
+            b.p95_latency_ms,
+            c.p95_latency_ms,
+            pct(d_p95),
+            b.success_ratio * 100.0,
+            c.success_ratio * 100.0,
+            pct(d_ratio),
+        ));
+        if d_tput < -MAX_REGRESSION {
+            report.fail(format!(
+                "{} @ {} pps: delivered throughput regressed {} ({:.2} → {:.2} pps)",
+                c.scheme,
+                c.offered_pps,
+                pct(d_tput),
+                b.throughput_pps,
+                c.throughput_pps
+            ));
+        }
+        if d_p95 > MAX_REGRESSION {
+            report.fail(format!(
+                "{} @ {} pps: p95 completion latency regressed {} ({:.1} → {:.1} ms)",
+                c.scheme,
+                c.offered_pps,
+                pct(d_p95),
+                b.p95_latency_ms,
+                c.p95_latency_ms
+            ));
+        }
+        if d_ratio < -MAX_REGRESSION {
+            report.fail(format!(
+                "{} @ {} pps: success ratio regressed {} ({:.1}% → {:.1}%)",
+                c.scheme,
+                c.offered_pps,
+                pct(d_ratio),
+                b.success_ratio * 100.0,
+                c.success_ratio * 100.0
+            ));
+        }
+    }
+    for b in &base {
+        if !cand.iter().any(|c| c.key() == b.key()) {
+            report.warn(format!(
+                "committed record {} @ {} pps (nodes {}, service {}ms) was not regenerated — lost coverage?",
+                b.scheme, b.offered_pps, b.nodes, b.service_time_ms
+            ));
+        }
+    }
+    if matched == 0 && !base.is_empty() {
+        report.fail(
+            "no candidate record matches any committed record — \
+             schema or configuration drift; regenerate the committed file"
+                .into(),
+        );
+    }
+    check_flat_latency(&cand, &mut report);
+    report.sort();
+    Ok(report)
+}
+
+/// The physical-suspicion check: within one (scheme, topology,
+/// latency, service) configuration swept across a ≥4× offered-load
+/// spread, *identical* p50/p95/p99 completion latencies mean latency
+/// is not responding to load — the pre-service-queue engine's exact
+/// failure mode.
+fn check_flat_latency(records: &[E2eRecord], report: &mut GateReport) {
+    let mut groups: Vec<(String, usize, usize, u64, u64)> = Vec::new();
+    for r in records {
+        if !groups.contains(&r.group()) {
+            groups.push(r.group());
+        }
+    }
+    for g in groups {
+        let members: Vec<&E2eRecord> = records.iter().filter(|r| r.group() == g).collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let min_pps = members
+            .iter()
+            .map(|r| r.offered_pps)
+            .fold(f64::MAX, f64::min);
+        let max_pps = members.iter().map(|r| r.offered_pps).fold(0.0, f64::max);
+        if min_pps <= 0.0 || max_pps / min_pps < FLAT_LOAD_SPREAD {
+            continue;
+        }
+        let first = members[0];
+        let flat = members.iter().all(|r| {
+            r.p50_latency_ms == first.p50_latency_ms
+                && r.p95_latency_ms == first.p95_latency_ms
+                && r.p99_latency_ms == first.p99_latency_ms
+        });
+        if flat {
+            report.fail(format!(
+                "physically suspicious: {} (nodes {}, service {}ms) reports identical \
+                 p50/p95/p99 completion latency across a {:.0}× offered-load spread \
+                 ({} → {} pps) — latency is not responding to load",
+                first.scheme,
+                first.nodes,
+                first.service_time_ms,
+                max_pps / min_pps,
+                min_pps,
+                max_pps
+            ));
+        }
+    }
+}
+
+/// Gates a regenerated max-flow bench against the committed one, both
+/// as JSON text. Flow values are hard-gated (they are deterministic);
+/// wall-clock timings only warn.
+pub fn gate_maxflow(baseline: &str, candidate: &str) -> Result<GateReport, String> {
+    let base: Vec<MaxflowRecord> =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline: {e:?}"))?;
+    let cand: Vec<MaxflowRecord> =
+        serde_json::from_str(candidate).map_err(|e| format!("candidate: {e:?}"))?;
+    let mut report = GateReport::default();
+    report
+        .table
+        .push_str("| topology | kernel | ns/pair | Δ | total flow |\n|---|---|---|---|---|\n");
+    let mut matched = 0usize;
+    for c in &cand {
+        let Some(b) = base.iter().find(|b| b.key() == c.key()) else {
+            report.warn(format!(
+                "no committed baseline for {} / {}",
+                c.topology, c.kernel
+            ));
+            continue;
+        };
+        matched += 1;
+        let d_ns = rel_change(b.mean_ns_per_pair as f64, c.mean_ns_per_pair as f64);
+        let flow_note = if c.total_flow == b.total_flow {
+            format!("{}", c.total_flow)
+        } else {
+            format!("{} → {} ✗", b.total_flow, c.total_flow)
+        };
+        report.table.push_str(&format!(
+            "| {} | {} | {} → {} | {} | {} |\n",
+            c.topology,
+            c.kernel,
+            b.mean_ns_per_pair,
+            c.mean_ns_per_pair,
+            pct(d_ns),
+            flow_note
+        ));
+        if c.total_flow != b.total_flow {
+            report.fail(format!(
+                "{} / {}: total flow drifted {} → {} — kernels are deterministic, \
+                 this is a correctness change",
+                c.topology, c.kernel, b.total_flow, c.total_flow
+            ));
+        }
+        if d_ns > MAX_REGRESSION {
+            report.warn(format!(
+                "{} / {}: mean wall time per pair up {} ({} → {} ns) — \
+                 warn-only (CI hardware varies)",
+                c.topology,
+                c.kernel,
+                pct(d_ns),
+                b.mean_ns_per_pair,
+                c.mean_ns_per_pair
+            ));
+        }
+    }
+    for b in &base {
+        if !cand.iter().any(|c| c.key() == b.key()) {
+            report.warn(format!(
+                "committed record {} / {} was not regenerated — lost coverage?",
+                b.topology, b.kernel
+            ));
+        }
+    }
+    if matched == 0 && !base.is_empty() {
+        report.fail(
+            "no candidate record matches any committed record — \
+             schema or configuration drift; regenerate the committed file"
+                .into(),
+        );
+    }
+    report.sort();
+    Ok(report)
+}

@@ -13,15 +13,27 @@
 //!   max-flow vs. edge-disjoint vs. Yen path finding, LP vs. sequential
 //!   fee splits).
 //!
-//! Plus one binary: `maxflow_bench`, which compares every
-//! `MaxFlowSolver` kernel on the Watts–Strogatz and Ripple/Lightning
-//! generator topologies, cross-checks their flow values, and writes
-//! `BENCH_maxflow.json` (CI runs it in `--smoke` mode and uploads the
-//! file as an artifact, so the kernel perf trajectory is tracked per
-//! PR).
+//! Plus three binaries:
+//!
+//! * `maxflow_bench` — compares every `MaxFlowSolver` kernel on the
+//!   Watts–Strogatz and Ripple/Lightning generator topologies,
+//!   cross-checks their flow values, and writes `BENCH_maxflow.json`.
+//! * `e2e_bench` — all five schemes through the discrete-event engine
+//!   (propagation latency + per-node service queues) under Poisson
+//!   load, writing `BENCH_e2e.json`.
+//! * `bench_gate` — diffs the regenerated smoke benches against the
+//!   committed files and fails CI on regressions or physically
+//!   suspicious shapes (see [`gate`]).
+//!
+//! The committed `BENCH_*.json` files are the `--smoke` outputs (so
+//! the gate always compares like with like on PR CI); the weekly
+//! scheduled workflow regenerates the full-scale trajectory as
+//! artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod gate;
 
 use pcn_graph::generators;
 use pcn_sim::Network;

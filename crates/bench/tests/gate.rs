@@ -1,0 +1,177 @@
+//! Tests of the bench-regression gate itself — including the check
+//! that it would have caught the PR-4 flat latency curve.
+
+use flash_bench::gate::{gate_e2e, gate_maxflow, Severity};
+
+/// The `BENCH_e2e.json` that PR 4 committed: the propagation-only
+/// engine reported **bit-identical** p50/p95/p99 completion latency at
+/// 50 and 400 pps offered load for every scheme. A plain diff against
+/// itself is clean; only the physical-suspicion check can object.
+const PR4_FLAT: &str = include_str!("fixtures/pr4_flat_e2e.json");
+
+fn e2e_record(
+    scheme: &str,
+    pps: f64,
+    tput: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    ratio: f64,
+) -> String {
+    format!(
+        r#"{{"scheme":"{scheme}","nodes":60,"payments":200,"offered_pps":{pps},"hop_latency_ms":25,"service_time_ms":10,"success_ratio":{ratio},"throughput_pps":{tput},"p50_latency_ms":{p50},"p95_latency_ms":{p95},"p99_latency_ms":{p99},"p50_queue_delay_ms":1.0,"p95_queue_delay_ms":20.0,"peak_in_flight":10,"peak_backlog":50,"max_node_utilization":0.5,"events":1000,"virtual_makespan_ms":9000.0,"wall_ns":1}}"#
+    )
+}
+
+fn array(records: &[String]) -> String {
+    format!("[\n  {}\n]\n", records.join(",\n  "))
+}
+
+/// A healthy two-load sweep: latency rises with load.
+fn healthy() -> String {
+    array(&[
+        e2e_record("Flash", 50.0, 16.0, 550.0, 2200.0, 4000.0, 0.77),
+        e2e_record("Flash", 400.0, 15.8, 1100.0, 4400.0, 8000.0, 0.79),
+    ])
+}
+
+#[test]
+fn gate_fails_the_pr4_flat_latency_fixture() {
+    // Diffing the PR-4 artifact against itself: every delta is zero,
+    // yet the gate must reject it — identical latency percentiles
+    // across an 8× offered-load spread are physically suspicious.
+    let report = gate_e2e(PR4_FLAT, PR4_FLAT).expect("fixture parses");
+    assert!(!report.passed(), "the flat PR-4 curve must fail the gate");
+    let flat_fails: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Fail)
+        .filter(|f| f.message.contains("physically suspicious"))
+        .collect();
+    // Every one of the five schemes is flat in the fixture.
+    assert_eq!(
+        flat_fails.len(),
+        5,
+        "one flat-curve failure per scheme: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn gate_passes_a_healthy_rising_curve_against_itself() {
+    let h = healthy();
+    let report = gate_e2e(&h, &h).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+    assert!(report.table.contains("Flash"));
+}
+
+#[test]
+fn gate_fails_a_throughput_regression_over_25_percent() {
+    let base = healthy();
+    let cand = array(&[
+        e2e_record("Flash", 50.0, 11.0, 550.0, 2200.0, 4000.0, 0.77), // -31%
+        e2e_record("Flash", 400.0, 15.8, 1100.0, 4400.0, 8000.0, 0.79),
+    ]);
+    let report = gate_e2e(&base, &cand).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("throughput")));
+}
+
+#[test]
+fn gate_fails_a_latency_regression_over_25_percent() {
+    let base = healthy();
+    let cand = array(&[
+        e2e_record("Flash", 50.0, 16.0, 550.0, 2900.0, 4000.0, 0.77), // p95 +32%
+        e2e_record("Flash", 400.0, 15.8, 1100.0, 4400.0, 8000.0, 0.79),
+    ]);
+    let report = gate_e2e(&base, &cand).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("p95")));
+}
+
+#[test]
+fn gate_tolerates_regressions_under_the_threshold() {
+    let base = healthy();
+    let cand = array(&[
+        e2e_record("Flash", 50.0, 13.0, 550.0, 2600.0, 4500.0, 0.70), // all < 25%
+        e2e_record("Flash", 400.0, 15.8, 1100.0, 4400.0, 8000.0, 0.79),
+    ]);
+    let report = gate_e2e(&base, &cand).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+}
+
+#[test]
+fn gate_warns_on_unmatched_records_and_fails_on_total_mismatch() {
+    let base = healthy();
+    // One record matches nothing (different service time ⇒ new key).
+    let one_new = array(&[
+        e2e_record("Flash", 50.0, 16.0, 550.0, 2200.0, 4000.0, 0.77),
+        e2e_record("Flash", 400.0, 15.8, 1100.0, 4400.0, 8000.0, 0.79)
+            .replace("\"service_time_ms\":10", "\"service_time_ms\":99"),
+    ]);
+    let report = gate_e2e(&base, &one_new).expect("parses");
+    assert!(report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("new configuration")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("lost coverage")));
+
+    // Nothing matches at all: schema/config drift must fail loudly.
+    let drifted = array(&[e2e_record("Flash", 75.0, 16.0, 550.0, 2200.0, 4000.0, 0.77)]);
+    let report = gate_e2e(&base, &drifted).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("configuration drift")));
+}
+
+#[test]
+fn gate_parses_pre_queue_artifacts_without_the_new_fields() {
+    // The PR-4 fixture has no service_time_ms / queue-delay fields;
+    // serde defaults must fill them so historical artifacts and the
+    // committed smoke file stay comparable.
+    let report = gate_e2e(PR4_FLAT, &healthy()).expect("old schema parses");
+    // Keys differ (service 0 vs 10) so nothing matches — but parsing
+    // succeeded, which is what this test pins.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("new configuration")));
+}
+
+const MAXFLOW_BASE: &str = r#"[
+  {"topology":"ws_100","nodes":100,"directed_edges":800,"kernel":"dinic","pairs":4,"iters_per_pair":1,"mean_ns_per_pair":1000,"total_flow":5000},
+  {"topology":"ws_100","nodes":100,"directed_edges":800,"kernel":"edmonds-karp","pairs":4,"iters_per_pair":1,"mean_ns_per_pair":1500,"total_flow":5000}
+]"#;
+
+#[test]
+fn maxflow_gate_fails_on_flow_drift_but_only_warns_on_wall_time() {
+    // Same flows, 3× slower: pass with a warning (CI hardware noise).
+    let slower = MAXFLOW_BASE.replace("\"mean_ns_per_pair\":1000", "\"mean_ns_per_pair\":3000");
+    let report = gate_maxflow(MAXFLOW_BASE, &slower).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("wall time")));
+
+    // A drifted flow value is a correctness failure.
+    let drifted = MAXFLOW_BASE.replace("\"total_flow\":5000", "\"total_flow\":4999");
+    let report = gate_maxflow(MAXFLOW_BASE, &drifted).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("total flow drifted")));
+}

@@ -12,32 +12,46 @@
 //! * `lat_b` — p95 completion latency (admission → final settlement,
 //!   virtual ms);
 //! * `lat_c` — delivered throughput (successful payments per virtual
-//!   second).
+//!   second);
+//! * `lat_d` — p95 per-message queueing delay behind node backlogs
+//!   (virtual ms).
 //!
-//! A modeling caveat for reading `lat_b`: hop delays come from
-//! [`LatencyModel`] only — there is no per-node service queue — so a
-//! payment's completion latency is set by the hop counts of the waves
-//! it sends, not by how busy the network is. Load moves `lat_b` only
-//! indirectly (contention changes which payments succeed and how many
-//! paths/retries they need), so the curve is nearly flat; the
-//! load-dependent signals are `lat_a` (success ratio) and `lat_c`
-//! (delivered throughput, including the saturation knee). Queueing
-//! delay at nodes is a candidate extension tracked in ROADMAP.md.
+//! Delay has two halves: per-hop *propagation* ([`LatencyModel`],
+//! load-independent) and per-node *service*
+//! ([`ServiceModel`], [`NODE_SERVICE_MS`] of
+//! deterministic processing behind a FIFO backlog — M/D/1 per node).
+//! Service is what couples `lat_b` to load: at low offered load nodes
+//! are mostly idle and completion latency is set by hop counts alone,
+//! while at high load messages pile up behind busy nodes and `lat_b`
+//! rises toward the congestion knee that `lat_a`/`lat_c` show from the
+//! success side. (Before service queues existed, `lat_b` was nearly
+//! flat across a 16× load spread — the committed `BENCH_e2e.json`
+//! even recorded bit-identical percentiles at 50 and 400 pps, which is
+//! exactly the physical suspicion the CI `bench_gate` now rejects.)
 
-use crate::harness::{run_scheme_des, Effort, SimScheme, DEFAULT_MICE_FRACTION};
+use crate::harness::{run_scheme_des, DesLoad, Effort, SimScheme, DEFAULT_MICE_FRACTION};
 use crate::report::{FigureResult, Series};
-use pcn_sim::LatencyModel;
+use pcn_sim::{LatencyModel, ServiceModel};
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
 
 /// All five schemes, exactly as they run on the other two backends.
 pub const SCHEMES: [SimScheme; 5] = SimScheme::ALL;
 
-/// Per-hop message latency of the sweep: 25ms, the order the paper's
-/// LAN testbed measures per-hop processing in (§5.2).
+/// Per-hop message *propagation* latency of the sweep: 25ms, the order
+/// the paper's LAN testbed measures per-hop processing in (§5.2).
 pub const HOP_LATENCY_MS: u64 = 25;
 
-/// Regenerates the load sweep (`lat_a`–`lat_c`).
+/// Per-node message *service* time of the sweep: each delivered
+/// message occupies the receiving node's single server for 10ms behind
+/// a FIFO backlog (the paper's testbed measures per-hop processing in
+/// the tens of milliseconds, §5.2). Small enough against the 25ms
+/// propagation that lightly loaded paths keep their hop-count latency,
+/// large enough that busy nodes run at 0.3–0.9 utilization inside the
+/// swept load range and the latency knee appears.
+pub const NODE_SERVICE_MS: u64 = 10;
+
+/// Regenerates the load sweep (`lat_a`–`lat_d`).
 pub fn run(effort: Effort) -> Vec<FigureResult> {
     let (nodes, txns, loads): (usize, usize, &[f64]) = match effort {
         Effort::Quick => (60, 150, &[50.0, 200.0]),
@@ -61,6 +75,12 @@ pub fn run(effort: Effort) -> Vec<FigureResult> {
         "offered load (payments/s)",
         "successful payments per virtual second",
     );
+    let mut fig_queue = FigureResult::new(
+        "lat_d",
+        format!("p95 queueing delay vs offered load (DES, {nodes}-node testbed topology)"),
+        "offered load (payments/s)",
+        "p95 per-message queueing delay (virtual ms)",
+    );
     let seed = 97;
     let net = testbed_topology(nodes, 1000, 1500, seed);
     let trace = generate_trace(net.graph(), &TraceConfig::ripple(txns, seed + 7));
@@ -68,6 +88,7 @@ pub fn run(effort: Effort) -> Vec<FigureResult> {
         let mut s_ratio = Series::new(scheme.label());
         let mut s_p95 = Series::new(scheme.label());
         let mut s_tput = Series::new(scheme.label());
+        let mut s_queue = Series::new(scheme.label());
         for &load in loads {
             let report = run_scheme_des(
                 &net,
@@ -75,18 +96,23 @@ pub fn run(effort: Effort) -> Vec<FigureResult> {
                 &trace,
                 DEFAULT_MICE_FRACTION,
                 seed + 31,
-                load,
-                LatencyModel::constant_ms(HOP_LATENCY_MS),
+                DesLoad {
+                    rate_per_sec: load,
+                    latency: LatencyModel::constant_ms(HOP_LATENCY_MS),
+                    service: ServiceModel::constant_ms(NODE_SERVICE_MS),
+                },
             );
             s_ratio.push(load, report.metrics.success_ratio() * 100.0);
             s_p95.push(load, report.latency_ms(0.95));
             s_tput.push(load, report.throughput_pps);
+            s_queue.push(load, report.queue_delay_ms(0.95));
         }
         fig_ratio.series.push(s_ratio);
         fig_p95.series.push(s_p95);
         fig_tput.series.push(s_tput);
+        fig_queue.series.push(s_queue);
     }
-    vec![fig_ratio, fig_p95, fig_tput]
+    vec![fig_ratio, fig_p95, fig_tput, fig_queue]
 }
 
 #[cfg(test)]
@@ -96,7 +122,7 @@ mod tests {
     #[test]
     fn sweep_covers_all_schemes_and_loads() {
         let figs = run(Effort::Quick);
-        assert_eq!(figs.len(), 3);
+        assert_eq!(figs.len(), 4);
         for fig in &figs {
             assert_eq!(fig.series.len(), SCHEMES.len());
             for s in &fig.series {
@@ -118,6 +144,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn latency_responds_to_load() {
+        // The flat-curve regression this module used to carry: across
+        // the quick sweep's 4× load spread, p95 completion latency must
+        // rise for most schemes (queueing at busy nodes), and the
+        // queueing-delay panel must show why.
+        let figs = run(Effort::Quick);
+        let p95 = figs.iter().find(|f| f.id == "lat_b").unwrap();
+        let queue = figs.iter().find(|f| f.id == "lat_d").unwrap();
+        let rising = p95
+            .series
+            .iter()
+            .filter(|s| s.points[1].1 > s.points[0].1)
+            .count();
+        assert!(
+            rising >= 4,
+            "p95 latency must rise with load for most schemes ({rising}/5 rose)"
+        );
+        let queueing = queue
+            .series
+            .iter()
+            .filter(|s| s.points[1].1 > s.points[0].1)
+            .count();
+        assert!(
+            queueing >= 4,
+            "queueing delay must grow with load ({queueing}/5 grew)"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use pcn_graph::generators;
 use pcn_graph::maxflow::{Dinic, MaxFlowSolver};
 use pcn_sim::{
     DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, Metrics, Network, PaymentNetwork,
-    Router,
+    Router, ServiceModel,
 };
 use pcn_types::{Amount, FeePolicy, NodeId, Payment};
 use pcn_workload::trace::{generate_trace, TraceConfig};
@@ -231,29 +231,46 @@ pub fn run_scheme(
     net.metrics().clone()
 }
 
+/// The load-and-delay configuration of one discrete-event run: the
+/// offered load plus both halves of the delay model (per-hop
+/// propagation, per-node service).
+#[derive(Clone, Debug)]
+pub struct DesLoad {
+    /// Poisson arrival rate, payments per virtual second.
+    pub rate_per_sec: f64,
+    /// Per-hop message propagation latency.
+    pub latency: LatencyModel,
+    /// Per-node message service time (FIFO queueing behind the
+    /// backlog; [`ServiceModel::Instant`] disables queueing).
+    pub service: ServiceModel,
+}
+
 /// Runs one scheme over a trace on the discrete-event engine: payments
-/// arrive from a seeded Poisson process at `rate_per_sec` (offered
-/// load), hop messages take `latency`, and many payments are in flight
-/// concurrently. Returns the full [`DesReport`] (success metrics plus
-/// completion-latency percentiles, peak in-flight, and throughput).
-/// The network is copied, exactly like [`run_scheme`].
+/// arrive from a seeded Poisson process at `load.rate_per_sec`
+/// (offered load), hop messages take `load.latency` on the wire plus
+/// the per-node `load.service` time behind each receiving node's FIFO
+/// backlog, and many payments are in flight concurrently. Returns the
+/// full [`DesReport`] (success metrics plus completion-latency and
+/// queueing-delay percentiles, peak in-flight/backlog, utilization,
+/// and throughput). The network is copied, exactly like
+/// [`run_scheme`].
 pub fn run_scheme_des(
     net: &Network,
     scheme: SimScheme,
     trace: &[Payment],
     mice_fraction: f64,
     seed: u64,
-    rate_per_sec: f64,
-    latency: LatencyModel,
+    load: DesLoad,
 ) -> DesReport {
     let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
     let threshold = threshold_for_mice_fraction(&amounts, mice_fraction);
-    let workload = pcn_workload::arrivals::poisson_workload(trace, rate_per_sec, seed);
+    let workload = pcn_workload::arrivals::poisson_workload(trace, load.rate_per_sec, seed);
     let mut router = scheme.router_on::<DesNetwork>(threshold, seed);
     let mut engine = DesEngine::new(
         net.clone(),
         DesConfig {
-            latency,
+            latency: load.latency,
+            service: load.service,
             check_conservation: false,
         },
     );

@@ -37,6 +37,17 @@ pub struct DesReport {
     /// Successful payments per virtual second
     /// (`succeeded / makespan`; zero for an empty or instant run).
     pub throughput_pps: f64,
+    /// Highest number of messages simultaneously queued (waiting + in
+    /// service) at any single node. Zero under the zero-service
+    /// default (no queues form — see [`node`](super::node)).
+    #[serde(default)]
+    pub peak_backlog: u64,
+    /// The busiest node's utilization: its accumulated service time
+    /// over the makespan, in `[0, 1]`. Approaches 1 as that node
+    /// saturates — the congestion knee. Zero under the zero-service
+    /// default.
+    #[serde(default)]
+    pub max_node_utilization: f64,
 }
 
 impl DesReport {
@@ -44,6 +55,19 @@ impl DesReport {
     /// payments only). `q` in `[0, 1]`; zero when nothing succeeded.
     pub fn latency_ms(&self, q: f64) -> f64 {
         self.metrics.latency.quantile_us(q) as f64 / 1_000.0
+    }
+
+    /// Per-message queueing-delay quantile in virtual milliseconds
+    /// (time spent waiting behind node backlogs;
+    /// [`Metrics::queue_delay`](crate::Metrics)). `q` in `[0, 1]`;
+    /// zero when no message was serviced by a nonzero-service node.
+    pub fn queue_delay_ms(&self, q: f64) -> f64 {
+        self.metrics.queue_delay.quantile_us(q) as f64 / 1_000.0
+    }
+
+    /// Mean per-message queueing delay in virtual milliseconds.
+    pub fn mean_queue_delay_ms(&self) -> f64 {
+        self.metrics.queue_delay.mean_us() / 1_000.0
     }
 }
 
@@ -121,6 +145,8 @@ impl DesEngine {
             events: self.net.events_delivered(),
             makespan,
             throughput_pps,
+            peak_backlog: self.net.service_queues().peak_backlog(),
+            max_node_utilization: self.net.service_queues().max_utilization(makespan),
         }
     }
 }
@@ -128,7 +154,7 @@ impl DesEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::des::LatencyModel;
+    use crate::des::{LatencyModel, ServiceModel};
     use crate::{FailureReason, PaymentNetwork, RouteOutcome};
     use pcn_graph::{DiGraph, Path};
     use pcn_types::{NodeId, PaymentClass, TxId};
@@ -181,6 +207,7 @@ mod tests {
     fn config() -> DesConfig {
         DesConfig {
             latency: LatencyModel::constant_ms(10),
+            service: ServiceModel::Instant,
             check_conservation: true,
         }
     }
@@ -240,6 +267,58 @@ mod tests {
         assert_eq!(report.events, 0);
         assert_eq!(report.makespan, SimTime::ZERO);
         assert_eq!(report.throughput_pps, 0.0);
+    }
+
+    #[test]
+    fn service_queues_make_latency_respond_to_load() {
+        // Same workload, compressed arrival gaps: with a nonzero
+        // per-node service time the tighter spacing piles messages onto
+        // the line's nodes and completion latency must rise. Amounts of
+        // 1 unit never exhaust the 10-unit channels, so success is
+        // identical across loads and only queueing moves.
+        let run = |gap_ms: u64| {
+            let mut engine = DesEngine::new(
+                line_net(),
+                DesConfig {
+                    latency: LatencyModel::constant_ms(10),
+                    service: ServiceModel::constant_ms(8),
+                    check_conservation: true,
+                },
+            );
+            engine.run(&mut LineRouter, &workload(gap_ms, 8, 1), Amount::MAX)
+        };
+        let relaxed = run(2000);
+        let loaded = run(1);
+        assert_eq!(relaxed.metrics.total().succeeded, 8);
+        assert_eq!(loaded.metrics.total().succeeded, 8);
+        assert_eq!(relaxed.peak_backlog, 1, "spaced arrivals never queue");
+        assert!(
+            loaded.peak_backlog > 1,
+            "tight arrivals must queue: peak {}",
+            loaded.peak_backlog
+        );
+        assert!(
+            loaded.latency_ms(0.95) > relaxed.latency_ms(0.95),
+            "p95 must rise with load: {} !> {}",
+            loaded.latency_ms(0.95),
+            relaxed.latency_ms(0.95)
+        );
+        assert!(loaded.metrics.queue_delay.count() > 0);
+        assert_eq!(
+            relaxed.metrics.queue_delay.max_us(),
+            0,
+            "spaced arrivals must not wait"
+        );
+        assert!(loaded.max_node_utilization > relaxed.max_node_utilization);
+    }
+
+    #[test]
+    fn zero_service_reports_no_queueing() {
+        let mut engine = DesEngine::new(line_net(), config());
+        let report = engine.run(&mut LineRouter, &workload(1, 5, 1), Amount::MAX);
+        assert_eq!(report.peak_backlog, 0);
+        assert_eq!(report.max_node_utilization, 0.0);
+        assert_eq!(report.metrics.queue_delay.count(), 0);
     }
 
     #[test]

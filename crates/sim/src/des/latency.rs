@@ -1,11 +1,20 @@
-//! Per-hop latency models.
+//! Per-hop *propagation* latency models.
 //!
 //! Every message the engine simulates (probe hops, phase-1 `COMMIT`
 //! hops, `CONFIRM`/`REVERSE` settlement hops) is delayed by the model's
-//! [`LatencyModel::delay`]. The jittered model is a *pure function* of
-//! the seed and a monotone message counter — no RNG state is carried
-//! between calls — so a run's delays are bit-reproducible and
-//! independent of how the model is shared or cloned.
+//! [`LatencyModel::delay`] while crossing the channel. The jittered
+//! model is a *pure function* of the seed and a monotone message
+//! counter — no RNG state is carried between calls — so a run's delays
+//! are bit-reproducible and independent of how the model is shared or
+//! cloned.
+//!
+//! Propagation is deliberately load-independent: a message's wire time
+//! never depends on how busy the network is. The load-*dependent* half
+//! of the delay model — per-node service times and FIFO queueing
+//! behind a node's backlog — lives in [`node`](super::node), and is
+//! what makes completion latency respond to offered load. With the
+//! default zero-service model, propagation is the only delay and the
+//! engine behaves exactly as it did before service queues existed.
 
 use super::time::SimTime;
 use pcn_graph::EdgeId;

@@ -15,8 +15,13 @@
 //! * [`EventQueue`] — binary-heap event queue with insertion-sequence
 //!   tie-breaking, so runs are bit-reproducible (see its module docs
 //!   for the invariants).
-//! * [`LatencyModel`] — per-hop propagation/processing delay: constant,
+//! * [`LatencyModel`] — per-hop *propagation* delay: constant,
 //!   deterministic uniform jitter, or a per-edge table.
+//! * [`ServiceModel`] / [`ServiceQueues`] — per-node *service*: every
+//!   message delivered to a node occupies its single server for a
+//!   deterministic service time behind a FIFO backlog (M/D/1-style),
+//!   so completion latency responds to offered load and the
+//!   congestion knee is visible.
 //! * [`DesNetwork`] / [`DesSession`] — the backend: phase-1
 //!   reservations escrow funds across virtual time; phase-2
 //!   `CONFIRM`/`REVERSE` settlement is scheduled into the queue and
@@ -30,11 +35,13 @@
 pub mod engine;
 pub mod latency;
 pub mod network;
+pub mod node;
 pub mod queue;
 pub mod time;
 
 pub use engine::{DesEngine, DesReport};
 pub use latency::LatencyModel;
 pub use network::{DesConfig, DesNetwork, DesSession};
+pub use node::{ServiceModel, ServiceQueues};
 pub use queue::EventQueue;
 pub use time::SimTime;

@@ -16,17 +16,30 @@
 //! ## Timing model
 //!
 //! Hop `i` of a wave crosses channel `i` after that channel's
-//! [`LatencyModel::delay`]; waves retrace the path for ACKs/NACKs. For a
-//! `k`-hop path:
+//! [`LatencyModel::delay`] (*propagation*), and is then **serviced** by
+//! the receiving node: it waits behind that node's FIFO backlog and
+//! occupies its single server for the [`ServiceModel`]'s deterministic
+//! service time before its handler runs and the next hop is scheduled
+//! (see [`node`](super::node) for the M/D/1 model). Waves retrace the
+//! path for ACKs/NACKs, paying propagation *and* service at every
+//! delivery on the way back. For a `k`-hop path:
 //!
-//! * a probe costs a full round trip (`2k` link delays) and snapshots
-//!   balances when the probe reaches the farthest hop;
-//! * a successful part reservation costs `2k` delays (COMMIT forward,
-//!   ACK back) and escrows each hop as the COMMIT passes it;
+//! * a probe costs a full round trip (`2k` link delays plus `2k` node
+//!   services, the last at the sender itself) and snapshots balances
+//!   when the farthest node finishes servicing the probe;
+//! * a successful part reservation costs `2k` delays + services
+//!   (COMMIT forward, ACK back) and escrows each hop as its node
+//!   finishes servicing the COMMIT;
 //! * a failed reservation NACKs back from the failing hop, releasing
-//!   each escrowed hop as it retraces;
+//!   each escrowed hop as the NACK is serviced on the retrace;
 //! * `commit`/`abort` launch one settlement wave per part from the
-//!   sender's current clock; each hop settles when the wave reaches it.
+//!   sender's current clock; each hop settles when its node finishes
+//!   servicing the wave.
+//!
+//! With the default [`ServiceModel::Instant`] every service completes
+//! at its arrival instant and the model reduces exactly to the
+//! propagation-only engine of PR 4 (the zero-service differential in
+//! `tests/des_engine.rs` asserts this bit for bit).
 //!
 //! ## Sender-serialized admission
 //!
@@ -49,21 +62,28 @@
 //! tests assert this).
 
 use super::latency::LatencyModel;
+use super::node::{ServiceModel, ServiceQueues};
 use super::queue::EventQueue;
 use super::time::SimTime;
 use crate::backend::{PartFailure, PaymentNetwork, PaymentSession};
 use crate::{FaultConfig, Metrics, Network, ProbeReport, RouteOutcome};
 use pcn_graph::{DiGraph, EdgeId, Path};
-use pcn_types::{Amount, Payment, PaymentClass};
+use pcn_types::{Amount, NodeId, Payment, PaymentClass};
 
 /// Configuration of the discrete-event backend.
 #[derive(Clone, Debug)]
 pub struct DesConfig {
-    /// Per-hop message latency model.
+    /// Per-hop message *propagation* latency model.
     pub latency: LatencyModel,
+    /// Per-node message *service* model: how long a node's single
+    /// server takes per delivered message, with FIFO queueing behind
+    /// the backlog. The default ([`ServiceModel::Instant`]) disables
+    /// queueing and reproduces the propagation-only engine exactly.
+    pub service: ServiceModel,
     /// Assert funds conservation (balances + escrow + settled-out funds
-    /// = initial total) after **every** applied event. O(edges) per
-    /// event — enable in tests, leave off in benchmarks.
+    /// = initial total) and service-backlog conservation after
+    /// **every** applied event. O(edges + nodes) per event — enable in
+    /// tests, leave off in benchmarks.
     pub check_conservation: bool,
 }
 
@@ -71,6 +91,7 @@ impl Default for DesConfig {
     fn default() -> Self {
         DesConfig {
             latency: LatencyModel::constant_ms(10),
+            service: ServiceModel::Instant,
             check_conservation: false,
         }
     }
@@ -94,6 +115,8 @@ enum Settle {
 pub struct DesNetwork {
     inner: Network,
     latency: LatencyModel,
+    /// Per-node FIFO service queues (see [`node`](super::node)).
+    service: ServiceQueues,
     queue: EventQueue<Settle>,
     /// The current sender-local virtual clock.
     now: SimTime,
@@ -118,9 +141,11 @@ impl DesNetwork {
     /// virtual clock at [`SimTime::ZERO`].
     pub fn new(inner: Network, config: DesConfig) -> Self {
         let initial_total = inner.total_funds().micros() as u128;
+        let service = ServiceQueues::new(config.service, inner.graph().node_count());
         DesNetwork {
             inner,
             latency: config.latency,
+            service,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             msg_tick: 0,
@@ -196,6 +221,9 @@ impl DesNetwork {
     /// clock (clocks are per-sender), which applies nothing.
     pub fn advance_to(&mut self, t: SimTime) {
         self.drain_until(t);
+        // No message computed from here on can arrive before `t`:
+        // finished service reservations below it can be released.
+        self.service.release_before(t);
         self.now = t;
     }
 
@@ -248,6 +276,7 @@ impl DesNetwork {
                 self.initial_total,
                 "funds not conserved after event at {fire}"
             );
+            self.service.assert_backlog_conserved();
         }
     }
 
@@ -262,6 +291,28 @@ impl DesNetwork {
         self.msg_tick += 1;
         d
     }
+
+    /// Delivers one message to `node` at `arrival`: the message waits
+    /// behind the node's FIFO backlog and is serviced; returns the
+    /// instant the node finishes processing it. Records the queueing
+    /// delay in the metrics histogram (zero-service nodes are
+    /// infinitely fast and record nothing — see
+    /// [`node`](super::node)).
+    fn deliver(&mut self, node: NodeId, arrival: SimTime) -> SimTime {
+        if self.service.model().service_time(node) == SimTime::ZERO {
+            return arrival;
+        }
+        let pass = self.service.admit(node, arrival);
+        self.inner
+            .metrics_mut()
+            .observe_queue_delay(pass.queued.micros());
+        pass.complete
+    }
+
+    /// The per-node service-queue state and statistics.
+    pub fn service_queues(&self) -> &ServiceQueues {
+        &self.service
+    }
 }
 
 impl PaymentNetwork for DesNetwork {
@@ -271,28 +322,35 @@ impl PaymentNetwork for DesNetwork {
         self.inner.graph()
     }
 
-    /// Probes over virtual time: the request takes one link delay per
-    /// hop out, the `PROBE_ACK` one per hop back. Balances are
-    /// snapshotted when the probe reaches the farthest hop — any
-    /// settlement wave landing after that instant is invisible, which is
-    /// exactly how probe reports go stale under load.
+    /// Probes over virtual time: the request takes one link delay plus
+    /// one node service per hop out, the `PROBE_ACK` the same per hop
+    /// back (the final service is the sender absorbing the ACK).
+    /// Balances are snapshotted when the farthest node finishes
+    /// servicing the probe — any settlement wave landing after that
+    /// instant is invisible, which is exactly how probe reports go
+    /// stale under load.
     fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
-        let mut forward = SimTime::ZERO;
-        let mut back = SimTime::ZERO;
+        let nodes = path.nodes();
         let edges: Vec<Option<EdgeId>> = path
             .channels()
             .map(|(u, v)| self.inner.graph().edge(u, v))
             .collect();
-        for e in &edges {
-            forward += self.hop_delay(*e);
+        let mut t = self.now;
+        // Out: hop i crosses channel i, then nodes[i + 1] services it.
+        for (i, e) in edges.iter().enumerate() {
+            t += self.hop_delay(*e);
+            t = self.deliver(nodes[i + 1], t);
         }
-        for e in edges.iter().rev() {
-            back += self.hop_delay(*e);
+        let snapshot_at = t;
+        // Back: the ACK retraces, serviced by each upstream node down
+        // to (and including) the sender.
+        for (i, e) in edges.iter().enumerate().rev() {
+            t += self.hop_delay(*e);
+            t = self.deliver(nodes[i], t);
         }
-        let snapshot_at = self.now + forward;
         self.drain_until(snapshot_at);
         let report = self.inner.probe_path(path);
-        self.now = snapshot_at + back;
+        self.now = t;
         report
     }
 
@@ -350,15 +408,17 @@ impl DesSession<'_> {
 
     /// Launches one settlement wave per reserved part from the sender's
     /// current clock — the `CONFIRM` (commit) or `REVERSE` (abort) pass
-    /// of §5.1 — scheduling `make(edge, amount)` for the instant the
-    /// wave reaches each hop. Consumes the reserved parts and returns
-    /// when the last wave lands.
+    /// of §5.1 — scheduling `make(edge, amount)` for the instant each
+    /// hop's downstream node finishes servicing the wave. Consumes the
+    /// reserved parts and returns when the last wave lands.
     fn schedule_waves(&mut self, make: fn(EdgeId, Amount) -> Settle) -> SimTime {
         let mut settle_end = self.net.now;
         for part in std::mem::take(&mut self.parts) {
             let mut t = self.net.now;
             for e in part.edges {
+                let (_, to) = self.net.inner.graph().endpoints(e);
                 t += self.net.hop_delay(Some(e));
+                t = self.net.deliver(to, t);
                 self.net.schedule(t, make(e, part.amount));
             }
             settle_end = settle_end.max(t);
@@ -374,11 +434,13 @@ impl DesSession<'_> {
 
 impl PaymentSession for DesSession<'_> {
     /// Reserves `amount` along `path` over virtual time. Each hop is
-    /// escrowed when the phase-1 `COMMIT` reaches it; on failure the
-    /// NACK retraces the debited hops, scheduling their escrow release
-    /// as it passes, and the sender's clock lands when the NACK returns.
-    /// On success the sender's clock lands when the last hop's ACK
-    /// returns.
+    /// escrowed when its node finishes servicing the phase-1 `COMMIT`
+    /// (propagation across the channel, then FIFO queueing and service
+    /// at the receiving node); on failure the NACK retraces the debited
+    /// hops, scheduling their escrow release as each upstream node
+    /// services it, and the sender's clock lands when it has serviced
+    /// the returning NACK. On success the sender's clock lands when it
+    /// has serviced the last hop's ACK.
     fn try_send_part(&mut self, path: &Path, amount: Amount) -> Result<(), PartFailure> {
         assert!(!self.closed, "session already closed");
         if amount.is_zero() {
@@ -389,6 +451,7 @@ impl PaymentSession for DesSession<'_> {
         for (hop, (u, v)) in path.channels().enumerate() {
             let edge = self.net.inner.graph().edge(u, v);
             t += self.net.hop_delay(edge);
+            t = self.net.deliver(v, t);
             self.net.drain_until(t);
             self.net.inner.metrics_mut().commit_messages += 1;
             let available = match edge {
@@ -404,9 +467,12 @@ impl PaymentSession for DesSession<'_> {
                 }
                 None => Amount::ZERO,
             };
-            // NACK back to the sender, releasing escrow hop by hop.
+            // NACK back to the sender, releasing escrow as each
+            // upstream node services the retracing message.
             for &d in debited.iter().rev() {
+                let (up, _) = self.net.inner.graph().endpoints(d);
                 t += self.net.hop_delay(Some(d));
+                t = self.net.deliver(up, t);
                 self.net.schedule(t, Settle::Restore { edge: d, amount });
             }
             self.net.now = t;
@@ -417,7 +483,9 @@ impl PaymentSession for DesSession<'_> {
         }
         // ACK retraces the path to the sender; escrow is held.
         for &e in debited.iter().rev() {
+            let (up, _) = self.net.inner.graph().endpoints(e);
             t += self.net.hop_delay(Some(e));
+            t = self.net.deliver(up, t);
         }
         self.net.now = t;
         for &e in &debited {
@@ -507,10 +575,15 @@ mod tests {
     }
 
     fn des(latency_ms: u64) -> DesNetwork {
+        des_with_service(latency_ms, ServiceModel::Instant)
+    }
+
+    fn des_with_service(latency_ms: u64, service: ServiceModel) -> DesNetwork {
         DesNetwork::new(
             line_net(),
             DesConfig {
                 latency: LatencyModel::constant_ms(latency_ms),
+                service,
                 check_conservation: true,
             },
         )
@@ -570,6 +643,7 @@ mod tests {
             inner,
             DesConfig {
                 latency: LatencyModel::constant_ms(10),
+                service: ServiceModel::Instant,
                 check_conservation: true,
             },
         );
@@ -655,11 +729,84 @@ mod tests {
     }
 
     #[test]
+    fn service_time_slows_every_wave() {
+        // 3 hops at 10ms propagation + 5ms service per delivery: a
+        // probe's round trip is 6 deliveries = 60ms + 30ms.
+        let mut net = des_with_service(10, ServiceModel::constant_ms(5));
+        net.probe_path(&path_0123()).unwrap();
+        assert_eq!(net.now(), SimTime::from_millis(90));
+        // Every delivery waited zero behind an idle node, but each was
+        // still observed into the queue-delay histogram.
+        assert_eq!(net.metrics().queue_delay.count(), 6);
+        assert_eq!(net.metrics().queue_delay.max_us(), 0);
+        assert_eq!(net.service_queues().peak_backlog(), 1);
+    }
+
+    #[test]
+    fn settlement_wave_contends_with_a_probe_for_node_service() {
+        // A's CONFIRM wave is in flight when a probe lands on the same
+        // nodes: the probe must wait behind the wave's service.
+        let mut net = des_with_service(10, ServiceModel::constant_ms(5));
+        let pa = payment(4);
+        let mut sa = net.begin_payment(&pa, PaymentClass::Mice);
+        sa.try_send_part(&path_0123(), Amount::from_units(4))
+            .unwrap();
+        assert!(sa.commit().is_success());
+        // The sender's clock is past the COMMIT/ACK round trip; the
+        // CONFIRM wave is being serviced hop by hop right now. A probe
+        // issued immediately reaches node 1 while it is busy.
+        let before = net.metrics().queue_delay.count();
+        net.probe_path(&path_0123()).unwrap();
+        assert!(net.metrics().queue_delay.count() > before);
+        assert!(
+            net.metrics().queue_delay.max_us() > 0,
+            "probe must have queued behind the settlement wave"
+        );
+        assert!(net.service_queues().peak_backlog() >= 2);
+        net.drain_all();
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+    }
+
+    #[test]
+    fn explicit_zero_service_is_bit_identical_to_instant() {
+        // ServiceModel::Constant(ZERO) exercises the queue machinery's
+        // zero-service fast path; ServiceModel::Instant skips it. The
+        // two must be observationally identical (the PR-4 engine had
+        // neither) — clocks, metrics, balances, everything.
+        let run = |service: ServiceModel| {
+            let mut net = des_with_service(10, service);
+            net.probe_path(&path_0123());
+            for (id, amount) in [(1u64, 4u64), (2, 9), (3, 7)] {
+                let p = Payment::new(TxId(id), n(0), n(3), Amount::from_units(amount));
+                let _ = crate::PaymentNetwork::send_single_path(
+                    &mut net,
+                    &p,
+                    PaymentClass::Mice,
+                    &path_0123(),
+                );
+            }
+            net.drain_all();
+            let now = net.now();
+            let metrics = net.metrics().clone();
+            let inner = net.into_inner();
+            (now, metrics, inner)
+        };
+        let (now_a, metrics_a, net_a) = run(ServiceModel::Instant);
+        let (now_b, metrics_b, net_b) = run(ServiceModel::Constant(SimTime::ZERO));
+        assert_eq!(now_a, now_b);
+        assert_eq!(metrics_a, metrics_b);
+        for (e, _, _) in net_a.graph().edges() {
+            assert_eq!(net_a.balance(e), net_b.balance(e));
+        }
+    }
+
+    #[test]
     fn zero_latency_matches_instantaneous_network() {
         let mut des_net = DesNetwork::new(
             line_net(),
             DesConfig {
                 latency: LatencyModel::instant(),
+                service: ServiceModel::Instant,
                 check_conservation: true,
             },
         );

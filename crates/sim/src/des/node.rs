@@ -1,0 +1,519 @@
+//! Per-node message service: a deterministic service time and a FIFO
+//! queue at every node.
+//!
+//! The [`LatencyModel`](super::latency) prices *propagation* — how long
+//! a message spends on the wire between two nodes. It is a pure
+//! function of the message, so a node under heavy load forwards its
+//! thousandth concurrent message exactly as fast as its first, and
+//! completion latency cannot respond to offered load (the flat
+//! `lat_b` curve ROADMAP used to track). This module adds the missing
+//! half of the delay model: **service**. Every message delivered to a
+//! node (`PROBE`, phase-1 `COMMIT`, and the `CONFIRM`/`REVERSE`
+//! settlement waves alike) occupies that node's single server for a
+//! deterministic service time, and messages that arrive while the
+//! server is busy wait behind the node's backlog before their handler
+//! runs and the next hop is scheduled.
+//!
+//! With Poisson arrivals and a deterministic service time this is the
+//! classic **M/D/1** queue per node: mean waiting time
+//! `W = ρ·s / (2(1−ρ))` for utilization `ρ = λ·s`, so queueing delay
+//! is negligible while a node is mostly idle and diverges as its
+//! message rate `λ` approaches the service rate `1/s`. That divergence
+//! is exactly the congestion knee the latency-vs-load sweep
+//! (`figures::latency`) was missing.
+//!
+//! # The service calendar
+//!
+//! The engine runs each payment's decision logic to completion at its
+//! admission instant (sender-serialized admission — see the
+//! [`network`](super::network) module docs), so messages are
+//! *processed* in admission order but *arrive* in arbitrary
+//! virtual-time order: payment `i`'s probe may be computed after
+//! payment `i−1`'s settlement wave yet arrive at a node long before
+//! it. A single "server busy until" scalar would therefore serialize
+//! messages by processing order and make early arrivals queue behind
+//! far-future work — wildly over-counting contention at idle nodes.
+//!
+//! Instead each node keeps a **calendar** of non-overlapping service
+//! reservations `[start, start + s)`. A message arriving at `a` takes
+//! the earliest gap of length `s` at or after `a` (first fit), waiting
+//! behind exactly the reservations that actually occupy the server
+//! around its arrival. For messages arriving in time order this *is*
+//! the FIFO M/D/1 queue; out-of-order processing slots into genuine
+//! idle gaps instead of phantom-queueing. The single-server law —
+//! **no two service intervals at a node ever overlap** — is the
+//! backlog conservation invariant
+//! ([`ServiceQueues::assert_backlog_conserved`]) checked at every
+//! event boundary under
+//! [`DesConfig::check_conservation`](super::network::DesConfig).
+//!
+//! # Determinism
+//!
+//! Calendar state depends only on the engine's (deterministic)
+//! processing order and the model's deterministic service times —
+//! never on hash order, address order, or a wall clock — so runs
+//! remain bit-reproducible with queues in the path.
+//!
+//! # The zero-service fast path
+//!
+//! A node with zero service time is an infinitely fast server: the
+//! message completes at its arrival instant, occupies no calendar
+//! slot, and records no statistics. [`ServiceModel::Instant`]
+//! therefore preserves the engine's pre-queue behavior **bit for
+//! bit**, and `ServiceModel::Constant(SimTime::ZERO)` — which does run
+//! the queue machinery — is asserted equivalent to it by the
+//! differential test in `tests/des_engine.rs`.
+
+use super::time::SimTime;
+use pcn_types::NodeId;
+use std::collections::VecDeque;
+
+/// How long one node takes to process one delivered message.
+#[derive(Clone, Debug, Default)]
+pub enum ServiceModel {
+    /// Zero service everywhere: nodes are infinitely fast and no queue
+    /// ever forms. The default; preserves the queue-free engine
+    /// behavior exactly.
+    #[default]
+    Instant,
+    /// The same deterministic service time at every node (the paper's
+    /// homogeneous testbed daemons). With Poisson arrivals this makes
+    /// each node an M/D/1 queue.
+    Constant(SimTime),
+    /// A per-node service-time table (e.g. heterogeneous hardware),
+    /// indexed by [`NodeId`]; nodes beyond the table use `default`.
+    PerNode {
+        /// `table[n.0 as usize]` is node `n`'s service time.
+        table: Vec<SimTime>,
+        /// Service time for nodes not covered by the table.
+        default: SimTime,
+    },
+}
+
+impl ServiceModel {
+    /// A constant per-node service time in milliseconds.
+    pub fn constant_ms(ms: u64) -> Self {
+        ServiceModel::Constant(SimTime::from_millis(ms))
+    }
+
+    /// A constant per-node service time in microseconds.
+    pub fn constant_us(us: u64) -> Self {
+        ServiceModel::Constant(SimTime::from_micros(us))
+    }
+
+    /// Zero service everywhere (the default).
+    pub fn instant() -> Self {
+        ServiceModel::Instant
+    }
+
+    /// The service time of one message at `node`.
+    pub fn service_time(&self, node: NodeId) -> SimTime {
+        match self {
+            ServiceModel::Instant => SimTime::ZERO,
+            ServiceModel::Constant(s) => *s,
+            ServiceModel::PerNode { table, default } => {
+                table.get(node.0 as usize).copied().unwrap_or(*default)
+            }
+        }
+    }
+}
+
+/// The outcome of admitting one message to a node's queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServicePass {
+    /// When the node finishes processing the message (the instant its
+    /// handler runs and the next hop may be scheduled).
+    pub complete: SimTime,
+    /// How long the message waited behind the node's backlog before
+    /// service began (zero when the server had a free slot on
+    /// arrival).
+    pub queued: SimTime,
+}
+
+/// Per-node bookkeeping: the service calendar and its statistics.
+#[derive(Clone, Debug, Default)]
+struct NodeState {
+    /// Non-overlapping service reservations `(start, end)`, sorted by
+    /// start (ends are then sorted too).
+    calendar: VecDeque<(SimTime, SimTime)>,
+    /// Highest number of messages simultaneously occupying the node
+    /// (waiting + in service) observed by any single arrival.
+    peak_backlog: u64,
+    /// Total service time this node has accumulated, in microseconds.
+    busy_us: u64,
+}
+
+/// All nodes' service queues plus the aggregate statistics the
+/// [`DesReport`](super::engine::DesReport) exposes.
+///
+/// Owned by [`DesNetwork`](super::network::DesNetwork); every message
+/// delivery goes through [`ServiceQueues::admit`].
+#[derive(Clone, Debug)]
+pub struct ServiceQueues {
+    model: ServiceModel,
+    nodes: Vec<NodeState>,
+    /// Messages admitted to any calendar (zero-service messages
+    /// excluded: they never occupy a server).
+    enqueued: u64,
+    /// Reservations released by [`ServiceQueues::release_before`].
+    completed: u64,
+    /// Max over nodes of `peak_backlog`.
+    peak_backlog: u64,
+    /// High-water mark of release calls: no reservation ending at or
+    /// before this instant remains, so no future arrival may be placed
+    /// below it (the engine releases at each admission time, which is
+    /// non-decreasing).
+    released_to: SimTime,
+}
+
+impl ServiceQueues {
+    /// Queues for `node_count` nodes under `model`, all idle.
+    pub fn new(model: ServiceModel, node_count: usize) -> Self {
+        ServiceQueues {
+            model,
+            nodes: vec![NodeState::default(); node_count],
+            enqueued: 0,
+            completed: 0,
+            peak_backlog: 0,
+            released_to: SimTime::ZERO,
+        }
+    }
+
+    /// The model in force.
+    pub fn model(&self) -> &ServiceModel {
+        &self.model
+    }
+
+    /// Admits a message arriving at `node` at `arrival`: it takes the
+    /// earliest service slot of the model's length at or after
+    /// `arrival` in the node's calendar (FIFO for in-order arrivals)
+    /// and completes when that slot ends. Returns the completion
+    /// instant and the queueing delay.
+    ///
+    /// Zero-service messages complete at their arrival instant without
+    /// touching the calendar (see the module docs).
+    pub fn admit(&mut self, node: NodeId, arrival: SimTime) -> ServicePass {
+        let service = self.model.service_time(node);
+        if service == SimTime::ZERO {
+            return ServicePass {
+                complete: arrival,
+                queued: SimTime::ZERO,
+            };
+        }
+        let state = &mut self.nodes[node.0 as usize];
+        // Skip reservations already over by `arrival`; they are not
+        // backlog for this message.
+        let from = state.calendar.partition_point(|&(_, end)| end <= arrival);
+        let mut start = arrival;
+        let mut at = from;
+        while let Some(&(res_start, res_end)) = state.calendar.get(at) {
+            if start + service <= res_start {
+                break; // the gap before this reservation fits
+            }
+            start = start.max(res_end);
+            at += 1;
+        }
+        let complete = start + service;
+        state.calendar.insert(at, (start, complete));
+        state.busy_us += service.micros();
+        self.enqueued += 1;
+        // Everything it waited behind, plus itself.
+        let backlog = (at - from + 1) as u64;
+        state.peak_backlog = state.peak_backlog.max(backlog);
+        self.peak_backlog = self.peak_backlog.max(backlog);
+        ServicePass {
+            complete,
+            queued: start.saturating_sub(arrival),
+        }
+    }
+
+    /// Releases every reservation ending at or before `t`. The engine
+    /// calls this with each payment's admission time (non-decreasing),
+    /// which bounds calendar memory by the in-flight window: no
+    /// message computed after that admission can arrive before it.
+    pub fn release_before(&mut self, t: SimTime) {
+        if t <= self.released_to {
+            return;
+        }
+        self.released_to = t;
+        for state in &mut self.nodes {
+            while state.calendar.front().is_some_and(|&(_, end)| end <= t) {
+                state.calendar.pop_front();
+                self.completed += 1;
+            }
+        }
+    }
+
+    /// Messages admitted to a calendar so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Reservations not yet released, across all nodes.
+    pub fn backlog(&self) -> u64 {
+        self.nodes.iter().map(|s| s.calendar.len() as u64).sum()
+    }
+
+    /// The highest per-node backlog (messages waiting + in service,
+    /// as seen by one arrival) observed at any single node.
+    pub fn peak_backlog(&self) -> u64 {
+        self.peak_backlog
+    }
+
+    /// Node `n`'s highest observed backlog.
+    pub fn peak_backlog_at(&self, node: NodeId) -> u64 {
+        self.nodes
+            .get(node.0 as usize)
+            .map_or(0, |s| s.peak_backlog)
+    }
+
+    /// Node `n`'s total accumulated service time, in microseconds.
+    pub fn busy_us_at(&self, node: NodeId) -> u64 {
+        self.nodes.get(node.0 as usize).map_or(0, |s| s.busy_us)
+    }
+
+    /// The busiest node's utilization over a run of length `makespan`:
+    /// its accumulated service time divided by the makespan, in
+    /// `[0, 1]` (a saturated node serves back-to-back and approaches
+    /// 1). Zero for an empty or instant run.
+    pub fn max_utilization(&self, makespan: SimTime) -> f64 {
+        if makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        let busiest = self.nodes.iter().map(|s| s.busy_us).max().unwrap_or(0);
+        (busiest as f64 / makespan.micros() as f64).min(1.0)
+    }
+
+    /// Asserts the backlog-conservation invariant: every admitted
+    /// message is either released or still on a calendar (`enqueued ==
+    /// completed + Σ backlog`), and each node's calendar is sorted and
+    /// **non-overlapping** — the single-server law: a node never
+    /// serves two messages at once. Called at every event boundary
+    /// under
+    /// [`DesConfig::check_conservation`](super::network::DesConfig).
+    ///
+    /// # Panics
+    /// Panics if any part of the invariant is violated.
+    pub fn assert_backlog_conserved(&self) {
+        let pending: u64 = self.backlog();
+        assert_eq!(
+            self.enqueued,
+            self.completed + pending,
+            "service backlog leaked: {} enqueued != {} completed + {} pending",
+            self.enqueued,
+            self.completed,
+            pending
+        );
+        for (i, state) in self.nodes.iter().enumerate() {
+            for (&(start, end), &(next_start, _)) in
+                state.calendar.iter().zip(state.calendar.iter().skip(1))
+            {
+                assert!(start <= next_start, "node {i}: calendar out of order");
+                assert!(
+                    end <= next_start,
+                    "node {i}: overlapping service reservations \
+                     [{start}, {end}) and [{next_start}, ..) — two \
+                     messages served at once"
+                );
+            }
+            for &(start, end) in &state.calendar {
+                assert!(start < end, "node {i}: empty or inverted reservation");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 2);
+        let pass = q.admit(n(0), t(50));
+        assert_eq!(pass.complete, t(150));
+        assert_eq!(pass.queued, SimTime::ZERO);
+        assert_eq!(q.peak_backlog(), 1);
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 1);
+        let a = q.admit(n(0), t(0));
+        let b = q.admit(n(0), t(10));
+        let c = q.admit(n(0), t(20));
+        assert_eq!(a.complete, t(100));
+        assert_eq!(b.complete, t(200));
+        assert_eq!(b.queued, t(90));
+        assert_eq!(c.complete, t(300));
+        assert_eq!(c.queued, t(180));
+        assert_eq!(q.peak_backlog(), 3);
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn arrivals_after_the_backlog_drains_see_an_idle_server() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 1);
+        q.admit(n(0), t(0));
+        q.admit(n(0), t(10));
+        // Arrives long after both completions: no wait, and a release
+        // at its arrival purges the finished reservations.
+        let late = q.admit(n(0), t(10_000));
+        assert_eq!(late.queued, SimTime::ZERO);
+        assert_eq!(late.complete, t(10_100));
+        q.release_before(t(10_000));
+        assert_eq!(q.backlog(), 1);
+        assert_eq!(q.enqueued(), 3);
+        assert_eq!(q.peak_backlog(), 2);
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn nodes_queue_independently() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 3);
+        q.admit(n(0), t(0));
+        let other = q.admit(n(2), t(0));
+        assert_eq!(other.queued, SimTime::ZERO, "nodes share no server");
+        assert_eq!(q.peak_backlog(), 1);
+        assert_eq!(q.peak_backlog_at(n(0)), 1);
+        assert_eq!(q.peak_backlog_at(n(1)), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_takes_an_idle_gap() {
+        // Processed later but arriving earlier: the server is genuinely
+        // idle at t=100, so the message is served there — it does NOT
+        // phantom-queue behind the far-future reservation.
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 1);
+        q.admit(n(0), t(500));
+        let early = q.admit(n(0), t(100));
+        assert_eq!(early.complete, t(200));
+        assert_eq!(early.queued, SimTime::ZERO);
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn out_of_order_arrival_with_no_gap_waits_its_turn() {
+        // The gap before the existing reservation is too short: the
+        // single-server law forces the late-processed message to the
+        // far side of it.
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 1);
+        q.admit(n(0), t(50));
+        let early = q.admit(n(0), t(0));
+        assert_eq!(early.queued, t(150));
+        assert_eq!(early.complete, t(250));
+        assert_eq!(q.peak_backlog(), 2);
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn first_fit_fills_interior_gaps() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 1);
+        q.admit(n(0), t(0)); // [0, 100)
+        q.admit(n(0), t(300)); // [300, 400)
+                               // Fits exactly between the two.
+        let mid = q.admit(n(0), t(150));
+        assert_eq!(mid.complete, t(250));
+        assert_eq!(mid.queued, SimTime::ZERO);
+        // Does not fit before [300, 400) anymore; lands after it.
+        let squeezed = q.admit(n(0), t(220));
+        assert_eq!(squeezed.complete, t(500));
+        assert_eq!(squeezed.queued, t(180));
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn zero_service_is_transparent() {
+        for model in [ServiceModel::Instant, ServiceModel::Constant(SimTime::ZERO)] {
+            let mut q = ServiceQueues::new(model, 2);
+            for i in 0..10 {
+                let pass = q.admit(n(0), t(i * 7));
+                assert_eq!(pass.complete, t(i * 7));
+                assert_eq!(pass.queued, SimTime::ZERO);
+            }
+            assert_eq!(q.enqueued(), 0);
+            assert_eq!(q.peak_backlog(), 0);
+            assert_eq!(q.max_utilization(t(1000)), 0.0);
+            q.assert_backlog_conserved();
+        }
+    }
+
+    #[test]
+    fn per_node_table_with_default() {
+        let m = ServiceModel::PerNode {
+            table: vec![t(5), t(0)],
+            default: t(9),
+        };
+        assert_eq!(m.service_time(n(0)), t(5));
+        assert_eq!(m.service_time(n(1)), SimTime::ZERO);
+        assert_eq!(m.service_time(n(7)), t(9));
+        let mut q = ServiceQueues::new(m, 8);
+        // Node 1 has zero service: transparent even mid-table.
+        assert_eq!(q.admit(n(1), t(3)).complete, t(3));
+        assert_eq!(q.admit(n(7), t(3)).complete, t(12));
+    }
+
+    #[test]
+    fn utilization_tracks_the_busiest_node() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 2);
+        for i in 0..5 {
+            q.admit(n(0), t(i * 1000));
+        }
+        q.admit(n(1), t(0));
+        // Node 0 accrued 500us of service over a 2000us run.
+        assert!((q.max_utilization(t(2000)) - 0.25).abs() < 1e-12);
+        assert_eq!(q.busy_us_at(n(0)), 500);
+        assert_eq!(q.busy_us_at(n(1)), 100);
+        // Utilization clamps at 1 even if makespan undercounts.
+        assert_eq!(q.max_utilization(t(10)), 1.0);
+        assert_eq!(q.max_utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn release_is_monotone_and_conserves() {
+        let mut q = ServiceQueues::new(ServiceModel::constant_us(100), 1);
+        for i in 0..4 {
+            q.admit(n(0), t(i * 1000));
+        }
+        q.release_before(t(2_500));
+        assert_eq!(q.backlog(), 1);
+        // Going backwards is a no-op.
+        q.release_before(t(100));
+        assert_eq!(q.backlog(), 1);
+        q.assert_backlog_conserved();
+        q.release_before(SimTime::MAX);
+        assert_eq!(q.backlog(), 0);
+        q.assert_backlog_conserved();
+    }
+
+    #[test]
+    fn waiting_appears_past_the_capacity_knee() {
+        // Fixed-gap arrivals: below capacity (gap > service) the server
+        // is always idle on arrival and nothing waits; past the knee
+        // (gap < service) the backlog — and with it the wait — grows
+        // without bound. This is the deterministic skeleton of the
+        // M/D/1 behavior the engine-level monotonicity test exercises
+        // under Poisson arrivals.
+        let wait = |gap_us: u64| {
+            let mut q = ServiceQueues::new(ServiceModel::constant_us(90), 1);
+            let mut total = 0u64;
+            for i in 0..200 {
+                total += q.admit(n(0), t(i * gap_us)).queued.micros();
+            }
+            total as f64 / 200.0
+        };
+        assert_eq!(wait(180), 0.0, "rho 0.5: no queueing below the knee");
+        assert_eq!(wait(100), 0.0, "rho 0.9: still below the knee");
+        let saturated = wait(80); // rho > 1: every arrival waits longer
+        assert!(saturated > 100.0, "rho 1.125 must queue: {saturated}");
+    }
+}

@@ -48,7 +48,7 @@ pub mod outcome;
 pub mod router;
 
 pub use backend::{PartFailure, PaymentNetwork, PaymentSession};
-pub use des::{DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, SimTime};
+pub use des::{DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, ServiceModel, SimTime};
 pub use fault::FaultConfig;
 pub use metrics::{ClassMetrics, LatencyHistogram, Metrics};
 pub use network::{ChannelInfo, Network, NetworkSession, ProbeReport};

@@ -157,6 +157,14 @@ pub struct Metrics {
     /// time-aware backends ([`des`](crate::des)); the instantaneous
     /// simulator leaves it empty.
     pub latency: LatencyHistogram,
+    /// Per-message queueing-delay histogram (virtual µs): how long each
+    /// delivered message waited behind a node's FIFO backlog before
+    /// service began. Populated only by time-aware backends with a
+    /// nonzero per-node service time ([`des::node`](crate::des));
+    /// empty on the instantaneous simulator and under the zero-service
+    /// default.
+    #[serde(default)]
+    pub queue_delay: LatencyHistogram,
 }
 
 impl Metrics {
@@ -187,6 +195,14 @@ impl Metrics {
     /// (admission to final settlement).
     pub fn observe_latency(&mut self, us: u64) {
         self.latency.observe(us);
+    }
+
+    /// Records one message's queueing delay behind a node's backlog, in
+    /// virtual microseconds. Time-aware backends call this once per
+    /// message serviced by a node with a nonzero service time (zero
+    /// waits included — the histogram's mean is the true mean wait).
+    pub fn observe_queue_delay(&mut self, us: u64) {
+        self.queue_delay.observe(us);
     }
 
     fn class_mut(&mut self, class: PaymentClass) -> &mut ClassMetrics {
@@ -306,6 +322,17 @@ mod tests {
         m.observe_latency(9_000);
         assert_eq!(m.latency.count(), 2);
         assert_eq!(m.latency.max_us(), 9_000);
+    }
+
+    #[test]
+    fn observe_queue_delay_is_a_separate_histogram() {
+        let mut m = Metrics::default();
+        m.observe_queue_delay(0);
+        m.observe_queue_delay(2_000);
+        assert_eq!(m.queue_delay.count(), 2);
+        assert_eq!(m.queue_delay.max_us(), 2_000);
+        assert_eq!(m.latency.count(), 0, "completion latency untouched");
+        assert!((m.queue_delay.mean_us() - 1_000.0).abs() < 1.0);
     }
 
     #[test]

@@ -5,9 +5,11 @@
 
 use flash_offchain::core::classify::threshold_for_mice_fraction;
 use flash_offchain::experiments::harness::{
-    run_scheme, run_scheme_des, SimScheme, DEFAULT_MICE_FRACTION,
+    run_scheme, run_scheme_des, DesLoad, SimScheme, DEFAULT_MICE_FRACTION,
 };
-use flash_offchain::sim::des::{DesConfig, DesEngine, DesNetwork, LatencyModel, SimTime};
+use flash_offchain::sim::des::{
+    DesConfig, DesEngine, DesNetwork, LatencyModel, ServiceModel, SimTime,
+};
 use flash_offchain::sim::Network;
 use flash_offchain::types::{Amount, Payment};
 use flash_offchain::workload::trace::{generate_trace, TraceConfig};
@@ -26,13 +28,15 @@ fn trace_for(net: &Network, n: usize, seed: u64) -> Vec<Payment> {
 
 /// Drives one scheme on the DES engine with per-event conservation
 /// checks enabled (the engine asserts balances + escrow + settled-out
-/// funds equal the initial total after *every* applied event).
+/// funds equal the initial total, and service-backlog conservation,
+/// after *every* applied event).
 fn run_checked(
     net: &Network,
     scheme: SimScheme,
     workload: &[(SimTime, Payment)],
     threshold: Amount,
     latency: LatencyModel,
+    service: ServiceModel,
     seed: u64,
 ) -> (flash_offchain::sim::DesReport, DesNetwork) {
     let mut router = scheme.router_on::<DesNetwork>(threshold, seed);
@@ -40,6 +44,7 @@ fn run_checked(
         net.clone(),
         DesConfig {
             latency,
+            service,
             check_conservation: true,
         },
     );
@@ -58,8 +63,11 @@ fn all_five_schemes_run_on_the_des_engine() {
             &trace,
             DEFAULT_MICE_FRACTION,
             3,
-            100.0,
-            LatencyModel::constant_ms(20),
+            DesLoad {
+                rate_per_sec: 100.0,
+                latency: LatencyModel::constant_ms(20),
+                service: ServiceModel::instant(),
+            },
         );
         assert_eq!(
             report.metrics.total().attempted,
@@ -98,6 +106,7 @@ fn overlapping_payments_show_nonzero_peak_in_flight_and_conserve_funds() {
             &workload,
             threshold,
             LatencyModel::constant_ms(25),
+            ServiceModel::constant_ms(2),
             8,
         );
         assert!(
@@ -129,11 +138,14 @@ fn same_seed_produces_identical_reports() {
                 &trace,
                 DEFAULT_MICE_FRACTION,
                 11,
-                300.0,
-                LatencyModel::UniformJitter {
-                    base: SimTime::from_millis(10),
-                    jitter_us: 5_000,
-                    seed: 13,
+                DesLoad {
+                    rate_per_sec: 300.0,
+                    latency: LatencyModel::UniformJitter {
+                        base: SimTime::from_millis(10),
+                        jitter_us: 5_000,
+                        seed: 13,
+                    },
+                    service: ServiceModel::constant_ms(3),
                 },
             )
         };
@@ -157,8 +169,11 @@ fn different_seeds_change_the_arrival_pattern() {
             &trace,
             DEFAULT_MICE_FRACTION,
             seed,
-            400.0,
-            LatencyModel::constant_ms(25),
+            DesLoad {
+                rate_per_sec: 400.0,
+                latency: LatencyModel::constant_ms(25),
+                service: ServiceModel::instant(),
+            },
         )
     };
     // The workload seed feeds the Poisson process; different seeds give
@@ -180,8 +195,11 @@ fn zero_latency_des_matches_the_instantaneous_simulator() {
             &trace,
             DEFAULT_MICE_FRACTION,
             23,
-            1000.0,
-            LatencyModel::instant(),
+            DesLoad {
+                rate_per_sec: 1000.0,
+                latency: LatencyModel::instant(),
+                service: ServiceModel::instant(),
+            },
         );
         assert_eq!(
             instant.total(),
@@ -215,6 +233,7 @@ fn no_session_commits_partially() {
             &workload,
             threshold,
             LatencyModel::constant_ms(25),
+            ServiceModel::constant_ms(2),
             33,
         );
         let t = report.metrics.total();
@@ -225,17 +244,120 @@ fn no_session_commits_partially() {
     }
 }
 
+#[test]
+fn zero_service_time_is_bit_identical_to_the_queue_free_engine() {
+    // The differential that pins the refactor: `ServiceModel::Instant`
+    // skips the queue machinery entirely (the engine exactly as it was
+    // before service queues existed), while `Constant(ZERO)` runs the
+    // machinery with zero-duration service. For every scheme the two
+    // must produce the same `DesReport` bit for bit — clocks, event
+    // counts, histograms, everything.
+    let net = small_net(41);
+    let trace = trace_for(&net, 90, 42);
+    for scheme in SCHEMES {
+        let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+        let threshold = threshold_for_mice_fraction(&amounts, DEFAULT_MICE_FRACTION);
+        let workload = arrivals::poisson_workload(&trace, 300.0, 43);
+        let run = |service: ServiceModel| {
+            run_checked(
+                &net,
+                scheme,
+                &workload,
+                threshold,
+                LatencyModel::constant_ms(25),
+                service,
+                44,
+            )
+            .0
+        };
+        let skipped = run(ServiceModel::Instant);
+        let zeroed = run(ServiceModel::Constant(SimTime::ZERO));
+        assert_eq!(
+            skipped,
+            zeroed,
+            "{}: zero-service queue machinery must be transparent",
+            scheme.label()
+        );
+        assert_eq!(skipped.peak_backlog, 0, "{}", scheme.label());
+        assert_eq!(skipped.metrics.queue_delay.count(), 0, "{}", scheme.label());
+    }
+}
+
+#[test]
+fn nonzero_service_queues_under_load_for_every_scheme() {
+    // Under heavy offered load with a nonzero service time, every
+    // scheme must actually exercise the queues: some message waits,
+    // some node shows a backlog > 1, and utilization is nonzero —
+    // all while per-event funds + backlog conservation (run_checked)
+    // holds.
+    let net = small_net(51);
+    let trace = trace_for(&net, 100, 52);
+    let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+    let threshold = threshold_for_mice_fraction(&amounts, DEFAULT_MICE_FRACTION);
+    let workload = arrivals::poisson_workload(&trace, 800.0, 53);
+    for scheme in SCHEMES {
+        let (report, des) = run_checked(
+            &net,
+            scheme,
+            &workload,
+            threshold,
+            LatencyModel::constant_ms(10),
+            ServiceModel::constant_ms(5),
+            54,
+        );
+        assert!(
+            report.peak_backlog > 1,
+            "{}: no node ever queued (peak {})",
+            scheme.label(),
+            report.peak_backlog
+        );
+        assert!(
+            report.metrics.queue_delay.max_us() > 0,
+            "{}: no message ever waited",
+            scheme.label()
+        );
+        assert!(
+            report.max_node_utilization > 0.0,
+            "{}: zero utilization",
+            scheme.label()
+        );
+        assert_eq!(des.conserved_total_micros(), des.initial_total_micros());
+    }
+}
+
+/// A 6-node line with ample balance: every 1-unit payment succeeds at
+/// any offered load, so latency comparisons across loads compare the
+/// same payment population.
+fn line_network() -> Network {
+    use flash_offchain::graph::DiGraph;
+    use flash_offchain::types::NodeId;
+    let mut g = DiGraph::new(6);
+    for i in 0..5u32 {
+        g.add_channel(NodeId(i), NodeId(i + 1)).unwrap();
+    }
+    Network::uniform(g, Amount::from_units(100_000))
+}
+
+fn line_trace(count: u64) -> Vec<Payment> {
+    use flash_offchain::types::{NodeId, TxId};
+    (0..count)
+        .map(|i| Payment::new(TxId(i), NodeId(0), NodeId(5), Amount::from_units(1)))
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// With N overlapping in-flight payments at a random offered load,
-    /// total funds (balances + escrow) are conserved at every event
-    /// boundary (asserted inside the engine per event) and no escrow or
-    /// open session survives the drain.
+    /// With N overlapping in-flight payments at a random offered load
+    /// and a random (possibly zero) per-node service time, total funds
+    /// (balances + escrow) and the service backlog are conserved at
+    /// every event boundary (asserted inside the engine per event) and
+    /// no escrow or open session survives the drain.
     #[test]
-    fn funds_conserved_at_every_event_boundary_under_concurrency(
+    fn funds_and_backlog_conserved_at_every_event_boundary_under_concurrency(
         seed in 0u64..200,
         rate_idx in 0usize..3,
+        service_ms in 0u64..6,
         scheme_idx in 0usize..SCHEMES.len(),
     ) {
         let rate = [100.0f64, 400.0, 1600.0][rate_idx];
@@ -255,11 +377,63 @@ proptest! {
                 jitter_us: 20_000,
                 seed: seed + 3,
             },
+            ServiceModel::constant_ms(service_ms),
             seed + 4,
         );
         prop_assert_eq!(des.conserved_total_micros(), des.initial_total_micros());
         prop_assert_eq!(des.escrow_micros(), 0u128);
         prop_assert_eq!(des.in_flight(), 0);
         prop_assert_eq!(report.metrics.total().attempted, 60);
+        des.service_queues().assert_backlog_conserved();
+    }
+
+    /// The queueing monotonicity law: on a fixed topology, trace, and
+    /// seed, with a nonzero service time, mean completion latency is
+    /// non-decreasing in offered load. (Same Poisson seed at a higher
+    /// rate compresses the identical arrival sequence, so each payment
+    /// can only find nodes busier, never idler.) This is the property
+    /// whose violation — a flat latency curve — went unnoticed before
+    /// service queues existed.
+    ///
+    /// One service time of slack on the mean: the calendar's first-fit
+    /// placement can serve an out-of-processing-order arrival up to
+    /// one service quantum differently than true arrival-order FIFO
+    /// (a compressed schedule may close a gap an uncompressed one
+    /// left open), so strict pointwise monotonicity is not a theorem
+    /// — but any flat-curve regression is orders of magnitude larger
+    /// than one quantum.
+    #[test]
+    fn mean_latency_is_monotone_in_offered_load(
+        service_ms in 1u64..8,
+        base_rate_centi in 500u64..5_000, // 5..50 pps
+        factor_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let factor = [2.0f64, 4.0, 8.0][factor_idx];
+        let base_rate = base_rate_centi as f64 / 100.0;
+        let net = line_network();
+        let trace = line_trace(40);
+        let run = |rate: f64| {
+            let workload = arrivals::poisson_workload(&trace, rate, seed);
+            let (report, _) = run_checked(
+                &net,
+                SimScheme::ShortestPath,
+                &workload,
+                Amount::MAX,
+                LatencyModel::constant_ms(10),
+                ServiceModel::constant_ms(service_ms),
+                seed + 1,
+            );
+            prop_assert_eq!(report.metrics.total().succeeded, 40);
+            Ok(report.metrics.latency.mean_us())
+        };
+        let light = run(base_rate)?;
+        let heavy = run(base_rate * factor)?;
+        let slack = (service_ms * 1_000) as f64;
+        prop_assert!(
+            heavy + slack >= light,
+            "mean latency decreased with load: {} pps -> {}us, {} pps -> {}us",
+            base_rate, light, base_rate * factor, heavy
+        );
     }
 }
