@@ -32,7 +32,6 @@ use pcn_sim::{LatencyModel, ServiceModel};
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
 use serde::Serialize;
-use std::time::Instant;
 
 /// One (scheme, offered-load) measurement.
 #[derive(Serialize)]
@@ -98,7 +97,7 @@ fn main() {
     let mut records: Vec<Record> = Vec::new();
     for scheme in SCHEMES {
         for &load in loads {
-            let start = Instant::now();
+            let wall_start = pcn_proto::wall_now();
             let report = run_scheme_des(
                 &net,
                 scheme,
@@ -111,7 +110,7 @@ fn main() {
                     service: ServiceModel::constant_ms(service_time_ms),
                 },
             );
-            let wall = start.elapsed();
+            let wall = wall_start.elapsed();
             println!(
                 "{:>14} @{:>4} pps: ratio {:>5.1}% tput {:>6.1} pps p95 {:>8.1} ms queue95 {:>7.1} ms peak {:>3} in flight",
                 scheme.label(),

@@ -17,7 +17,6 @@ use pcn_graph::maxflow::{Dinic, EdmondsKarp, MaxFlowSolver};
 use pcn_graph::DiGraph;
 use pcn_types::NodeId;
 use serde::Serialize;
-use std::time::Instant;
 
 /// One (topology, kernel) measurement.
 #[derive(Serialize)]
@@ -146,15 +145,15 @@ fn main() {
                     );
                 }
             }
-            let start = Instant::now();
+            let wall_start = pcn_proto::wall_now();
             let mut total_flow = 0u64;
             for _ in 0..*iters {
                 for &(s, t) in &st {
                     total_flow += solver.max_flow(g, s, t, &caps).value;
                 }
             }
-            let elapsed = start.elapsed();
-            let per_pair = elapsed.as_nanos() / (st.len() as u128 * *iters as u128);
+            let wall_elapsed = wall_start.elapsed();
+            let per_pair = wall_elapsed.as_nanos() / (st.len() as u128 * *iters as u128);
             records.push(Record {
                 topology: (*name).to_string(),
                 nodes: g.node_count(),

@@ -200,6 +200,7 @@ pub fn find_paths_with(
 pub fn oracle_max_flow(graph: &DiGraph, plan: &ElephantPlan, s: NodeId, t: NodeId) -> Amount {
     use pcn_graph::maxflow::{Dinic, MaxFlowSolver};
     let mut caps = vec![0u64; graph.edge_count()];
+    // det-lint: allow(hash-order) — each edge writes its own slot; no slot written twice
     for (e, c) in &plan.capacities {
         caps[e.index()] = c.micros();
     }

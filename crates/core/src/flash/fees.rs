@@ -369,6 +369,7 @@ mod tests {
                 *per_edge.entry(g.edge(u, v).unwrap()).or_insert(0) += a.micros();
             }
         }
+        // det-lint: allow(hash-order) — independent per-edge assertions; any order fails the same way
         for (e, used) in per_edge {
             assert!(used <= plan.capacities[&e].micros());
         }

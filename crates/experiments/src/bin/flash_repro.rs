@@ -52,7 +52,7 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     for name in figs {
-        let started = std::time::Instant::now();
+        let wall_started = pcn_proto::wall_now();
         eprintln!("running {name} ({effort:?})...");
         let results: Vec<FigureResult> = match name.as_str() {
             "fig3" => figures::fig3::run(effort),
@@ -71,7 +71,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        eprintln!("  done in {:.1?}", started.elapsed());
+        eprintln!("  done in {:.1?}", wall_started.elapsed());
         for fig in &results {
             println!("{}", fig.to_markdown());
             std::fs::write(out_dir.join(format!("{}.md", fig.id)), fig.to_markdown())

@@ -119,6 +119,7 @@ pub fn clustering_coefficient(g: &DiGraph) -> f64 {
             continue;
         }
         triples += d * (d - 1) / 2;
+        // det-lint: allow(hash-order) — triangle count over unordered pairs; order cannot change the tally
         let local: Vec<u32> = nbrs[u].iter().copied().collect();
         for i in 0..local.len() {
             for j in (i + 1)..local.len() {

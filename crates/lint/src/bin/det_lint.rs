@@ -1,0 +1,93 @@
+//! `det_lint` — run the workspace determinism audit from the CLI.
+//!
+//! ```text
+//! det_lint --workspace            # lint the whole workspace (CI entry point)
+//! det_lint path/to/file.rs …     # lint specific files
+//! det_lint --workspace --github  # also emit ::error annotations (auto on CI)
+//! ```
+//!
+//! Exit code 0 = clean, 1 = findings, 2 = usage/IO error.
+
+use pcn_lint::{find_workspace_root, github_annotations, lint_workspace, policy_for, rules};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut github = std::env::var_os("GITHUB_ACTIONS").is_some();
+    let mut files: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--github" => github = true,
+            "--help" | "-h" => {
+                eprintln!("usage: det_lint [--workspace] [--github] [FILE.rs …]");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("det_lint: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        workspace = true; // the common case: audit everything
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!("det_lint: no workspace root ([workspace] in Cargo.toml) above {cwd:?}");
+        std::process::exit(2);
+    };
+
+    let mut findings = Vec::new();
+    if workspace {
+        match lint_workspace(&root) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("det_lint: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    for file in &files {
+        let rel = Path::new(file)
+            .strip_prefix(&root)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|_| file.clone());
+        let Some(policy) = policy_for(&rel) else {
+            eprintln!("det_lint: {rel}: out of scope (shim/fixture/non-Rust), skipping");
+            continue;
+        };
+        match std::fs::read_to_string(file) {
+            Ok(src) => findings.extend(rules::lint_source(&rel, &src, &policy)),
+            Err(e) => {
+                eprintln!("det_lint: {file}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for f in &findings {
+        println!(
+            "{}:{}: error[{}] {}",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.message
+        );
+    }
+    if github && !findings.is_empty() {
+        print!("{}", github_annotations(&findings));
+    }
+    if findings.is_empty() {
+        let scope = if workspace { "workspace" } else { "files" };
+        println!(
+            "det-lint: {scope} clean (rules D1 wall-clock, D2 hash-order, D3 thread, D4 debug-format)"
+        );
+    } else {
+        println!("det-lint: {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,279 @@
+//! # pcn-lint
+//!
+//! The workspace determinism auditor: a static-analysis pass that
+//! catches hash-order, wall-clock, and stray-thread nondeterminism
+//! before the differential tests do.
+//!
+//! ## Why this exists
+//!
+//! PR 3 shipped exactly the bug this tool exists to catch:
+//! `barabasi_albert` iterated a `HashSet` while growing the
+//! preferential-attachment list, so generated topologies differed *per
+//! process* and a figure test went flaky. It was found by luck. With
+//! ~20 hash-collection sites in the deterministic crates and a
+//! parallel DES on the roadmap, the invariants behind every
+//! differential test (same-seed bit-identical `DesReport`s,
+//! zero-latency DES ≡ instantaneous simulator, svc=0 ≡ committed
+//! bench) need enforcement on every PR — the same way `bench_gate`
+//! enforces bench shapes.
+//!
+//! ## What it does
+//!
+//! [`lint_workspace`] lexes every `.rs` file (a hand-rolled scanner in
+//! [`lexer`]; the build environment has no registry access, so no
+//! syn/proc-macro) and applies the D1–D4 rules in [`rules`] with a
+//! per-crate [`Policy`]:
+//!
+//! | crates | D1 wall-clock | D2 hash-order | D3 thread | D4 debug-format |
+//! |---|---|---|---|---|
+//! | `pcn-types`, `pcn-graph`, `pcn-lp`, `flash-core`, `pcn-workload` | forbid | ✓ | – | ✓ |
+//! | `pcn-sim` | forbid | ✓ | ✓ | ✓ |
+//! | `pcn-proto`, `pcn-experiments`, `flash-bench`, umbrella | helper only | – | – | – |
+//! | `shims/`, fixtures | skipped | | | |
+//!
+//! "Helper only" means wall time flows through exactly one entry
+//! point — `pcn_proto::wall_now()` (defined in the allowlisted
+//! `crates/proto/src/wall.rs`) — and must land in `wall_*`-prefixed
+//! bindings.
+//!
+//! Violations that are provably order-insensitive carry a written
+//! justification: `// det-lint: allow(hash-order) — <why>`.
+//!
+//! Run it locally with `cargo run -p pcn-lint --bin det_lint -- --workspace`;
+//! CI runs the same command and surfaces findings as inline
+//! `::error file=…,line=…` PR annotations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library code reports through returned values and serialized artifacts,
+// never ad-hoc stdout; the `det_lint` binary prints, the library does not.
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Finding, Policy, Rule, WallPolicy};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The deterministic crates: same-seed runs must be bit-identical.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/types",
+    "crates/graph",
+    "crates/lp",
+    "crates/sim",
+    "crates/core",
+    "crates/workload",
+];
+
+/// The one file allowed to touch `std::time::Instant` directly.
+pub const WALL_HELPER_FILE: &str = "crates/proto/src/wall.rs";
+
+/// Returns the policy for a workspace-relative path, or `None` when
+/// the file is out of scope (shims, vendored code, lint fixtures,
+/// build output).
+pub fn policy_for(rel: &str) -> Option<Policy> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel.starts_with("shims/") || rel.starts_with("target/") || rel.contains("/target/") {
+        return None;
+    }
+    // Known-bad lint fixtures are linted by the fixture tests, not the
+    // workspace scan.
+    if rel.contains("tests/fixtures/") {
+        return None;
+    }
+    if rel == WALL_HELPER_FILE {
+        return Some(Policy {
+            wall: WallPolicy::Free,
+            hash_order: false,
+            threads: false,
+            debug_format: false,
+        });
+    }
+    for krate in DETERMINISTIC_CRATES {
+        if rel.starts_with(&format!("{krate}/")) {
+            return Some(Policy::deterministic(*krate == "crates/sim"));
+        }
+    }
+    // Everything else — proto, experiments, bench, the lint itself,
+    // the umbrella crate's src/tests/examples — may read wall time
+    // through the helper only.
+    Some(Policy::wall_allowed())
+}
+
+/// The crate-grouping key for hash-name collection: identifiers are
+/// tainted crate-wide (a field declared in one file is iterated in
+/// another), but not across crates (different namespaces).
+fn crate_key(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.len() >= 2 && (parts[0] == "crates" || parts[0] == "shims") {
+        format!("{}/{}", parts[0], parts[1])
+    } else {
+        "workspace-root".to_string()
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `.git`,
+/// `target`, and `shims`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, ".git" | "target" | "shims" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every in-scope source file under the workspace `root`.
+/// Findings come back sorted by (file, line) — deterministically, as
+/// one would hope for a determinism linter.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+
+    // Pass 1: lex everything in scope, group by crate.
+    struct FileEntry {
+        rel: String,
+        policy: Policy,
+        lexed: lexer::Lexed,
+    }
+    let mut by_crate: BTreeMap<String, Vec<FileEntry>> = BTreeMap::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(policy) = policy_for(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path)?;
+        by_crate
+            .entry(crate_key(&rel))
+            .or_default()
+            .push(FileEntry {
+                rel,
+                policy,
+                lexed: lexer::lex(&src),
+            });
+    }
+
+    // Pass 2: per-crate hash-name sets, then lint each file.
+    let mut findings = Vec::new();
+    for entries in by_crate.values() {
+        let streams: Vec<&lexer::Lexed> = entries.iter().map(|e| &e.lexed).collect();
+        let names = rules::collect_hash_names(&streams);
+        for e in entries {
+            findings.extend(rules::lint_tokens(&e.rel, &e.lexed, &e.policy, &names));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Formats findings as GitHub Actions workflow commands, one per line
+/// (`::error file=…,line=…::…`), so they render as inline PR
+/// annotations.
+pub fn github_annotations(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        // Workflow-command values must escape newlines and percents.
+        let msg = f
+            .message
+            .replace('%', "%25")
+            .replace('\n', "%0A")
+            .replace('\r', "");
+        out.push_str(&format!(
+            "::error file={},line={},title=det-lint {}::{}\n",
+            f.file,
+            f.line,
+            f.rule.name(),
+            msg
+        ));
+    }
+    out
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_match_the_crate_map() {
+        assert!(policy_for("crates/sim/src/des/engine.rs").unwrap().threads);
+        assert!(
+            !policy_for("crates/graph/src/generators.rs")
+                .unwrap()
+                .threads
+        );
+        assert!(
+            policy_for("crates/graph/src/generators.rs")
+                .unwrap()
+                .hash_order
+        );
+        assert_eq!(
+            policy_for("crates/proto/src/cluster.rs").unwrap().wall,
+            WallPolicy::HelperOnly
+        );
+        assert_eq!(policy_for(WALL_HELPER_FILE).unwrap().wall, WallPolicy::Free);
+        assert!(policy_for("shims/rand/src/lib.rs").is_none());
+        assert!(policy_for("crates/lint/tests/fixtures/d1_wall_clock.rs").is_none());
+        assert!(policy_for("README.md").is_none());
+    }
+
+    #[test]
+    fn crate_keys_group_by_crate() {
+        assert_eq!(crate_key("crates/sim/src/lib.rs"), "crates/sim");
+        assert_eq!(crate_key("crates/sim/tests/des.rs"), "crates/sim");
+        assert_eq!(crate_key("tests/atomicity.rs"), "workspace-root");
+        assert_eq!(crate_key("src/lib.rs"), "workspace-root");
+    }
+
+    #[test]
+    fn github_annotations_escape_and_point_at_lines() {
+        let f = vec![Finding {
+            rule: Rule::HashOrder,
+            file: "crates/sim/src/x.rs".into(),
+            line: 7,
+            message: "100% bad\nnewline".into(),
+        }];
+        let s = github_annotations(&f);
+        assert_eq!(
+            s,
+            "::error file=crates/sim/src/x.rs,line=7,title=det-lint hash-order::100%25 bad%0Anewline\n"
+        );
+    }
+}

@@ -1,0 +1,887 @@
+//! The determinism rules (D1–D4) over the token stream.
+//!
+//! Every correctness claim in this reproduction — same-seed
+//! bit-identical `DesReport`s, the zero-latency DES ≡ instantaneous
+//! simulator differential, the svc=0 ≡ bench replay — rests on the
+//! codebase never letting unordered state leak into event order or
+//! serialized output. These rules encode the project's invariants:
+//!
+//! * **D1 `wall-clock`** — no `Instant::now` / `SystemTime` in the
+//!   deterministic crates. Bench/experiment binaries and `pcn-proto`
+//!   may read wall time, but only through the single
+//!   `pcn_proto::wall_now` helper, and only into `wall_*`-prefixed
+//!   bindings, so wall metrics stay visibly segregated from virtual
+//!   ones.
+//! * **D2 `hash-order`** — no order-sensitive iteration over
+//!   `HashMap` / `HashSet` in deterministic crates (`for … in &map`,
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()`, …)
+//!   unless the site feeds an immediate sort or carries a
+//!   `// det-lint: allow(hash-order) — <why>` annotation.
+//! * **D3 `thread`** — no `thread::spawn` or `std::sync` primitives
+//!   inside `pcn-sim`: the DES stays single-threaded until the
+//!   conservative parallel engine lands with its own merge rules.
+//! * **D4 `debug-format`** — no `{:?}` formatting of hash collections
+//!   into strings/reports: `Debug` on a hash map leaks iteration
+//!   order into output.
+//!
+//! Detection is deliberately *over*-approximate (an identifier that is
+//! hash-typed anywhere in the crate taints every same-named
+//! identifier): a false positive costs one justified annotation, while
+//! a false negative costs a flaky differential test three PRs later.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Which rule produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: wall-clock access.
+    WallClock,
+    /// D2: order-sensitive hash iteration.
+    HashOrder,
+    /// D3: threads / sync primitives in the DES crate.
+    Thread,
+    /// D4: `{:?}` of a hash collection into output.
+    DebugFormat,
+    /// Malformed or unjustified `det-lint:` annotation.
+    Annotation,
+}
+
+impl Rule {
+    /// The rule name as written inside `det-lint: allow(…)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::HashOrder => "hash-order",
+            Rule::Thread => "thread",
+            Rule::DebugFormat => "debug-format",
+            Rule::Annotation => "annotation",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+}
+
+/// How rule D1 applies to a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WallPolicy {
+    /// Deterministic crate: any wall-clock token is an error.
+    Forbid,
+    /// Wall-allowed crate (proto / experiments / bench binaries): raw
+    /// `Instant::now` is an error — call `pcn_proto::wall_now()` — and
+    /// `wall_now()` results must land in `wall_*`-prefixed bindings.
+    HelperOnly,
+    /// The single allowlisted helper file itself.
+    Free,
+}
+
+/// Per-file rule configuration, derived from the crate the file
+/// belongs to (see [`crate::policy_for`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Policy {
+    /// D1 mode.
+    pub wall: WallPolicy,
+    /// Whether D2 applies (deterministic crates).
+    pub hash_order: bool,
+    /// Whether D3 applies (`pcn-sim` only).
+    pub threads: bool,
+    /// Whether D4 applies (deterministic crates).
+    pub debug_format: bool,
+}
+
+impl Policy {
+    /// Policy for the deterministic crates.
+    pub fn deterministic(is_sim: bool) -> Self {
+        Policy {
+            wall: WallPolicy::Forbid,
+            hash_order: true,
+            threads: is_sim,
+            debug_format: true,
+        }
+    }
+
+    /// Policy for wall-allowed crates (testbed, experiments, benches).
+    pub fn wall_allowed() -> Self {
+        Policy {
+            wall: WallPolicy::HelperOnly,
+            hash_order: false,
+            threads: false,
+            debug_format: false,
+        }
+    }
+}
+
+/// Hash-iteration method names that expose iteration order (D2).
+const ORDER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Sort-family identifiers that make an iteration order-insensitive
+/// when they appear in the same or the immediately following
+/// statements ("feeds an immediate sort").
+fn is_reordering_ident(text: &str) -> bool {
+    text.starts_with("sort") || text == "BTreeMap" || text == "BTreeSet" || text == "BinaryHeap"
+}
+
+/// Format-like macros whose output reaches strings / reports (D4).
+/// Assert/panic macros are excluded: their output is for humans on the
+/// failure path, not for serialized artifacts.
+const FORMAT_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln",
+];
+
+/// Sync primitives banned in `pcn-sim` (D3).
+const SYNC_IDENTS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "mpsc",
+    "rayon",
+    "crossbeam",
+    "parking_lot",
+];
+
+/// Collects identifiers that are hash-typed somewhere in the given
+/// token streams: `name: …HashMap<…>` (let/field/param type
+/// annotations) and `let name = HashMap::new()`-style initializations.
+///
+/// The returned set deliberately spans the whole crate: a struct field
+/// declared `capacities: HashMap<…>` in one file taints
+/// `plan.capacities` iteration in every other file of that crate.
+pub fn collect_hash_names(streams: &[&Lexed]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for lexed in streams {
+        let toks = &lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+                continue;
+            }
+            // Walk left over the path prefix (`std :: collections ::`).
+            let mut j = i;
+            while j >= 2 && toks[j - 1].text == "::" && toks[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            }
+            // Case b: `let (mut)? NAME (: _)? = HashMap :: new`.
+            if j >= 2 && toks[j - 1].text == "=" {
+                if let Some(name) = binding_left_of_eq(toks, j - 1) {
+                    names.insert(name);
+                    continue;
+                }
+            }
+            // Case a: `NAME : …HashMap…` — walk left over type tokens
+            // until the single `:` that starts the annotation.
+            let mut k = j;
+            while k > 0 {
+                let p = &toks[k - 1];
+                let is_type_tok = p.kind == TokKind::Ident
+                    || p.kind == TokKind::Lifetime
+                    || matches!(p.text.as_str(), "::" | "<" | ">" | "," | "&" | "[" | "]");
+                if p.text == ":" {
+                    if k >= 2 && toks[k - 2].kind == TokKind::Ident {
+                        names.insert(toks[k - 2].text.clone());
+                    }
+                    break;
+                }
+                if !is_type_tok {
+                    break;
+                }
+                k -= 1;
+            }
+        }
+    }
+    names
+}
+
+/// One identifier declaration seen in a file: a `name: Type`
+/// annotation (let/param/field/struct-literal) or an untyped
+/// `let name = expr` binding, with whether it is hash-typed.
+///
+/// Declarations refine the crate-wide taint set: `caps: &[Amount]` in
+/// one function must not inherit hash-ness from a `caps: &HashMap<…>`
+/// parameter elsewhere in the crate. Resolution is
+/// "latest declaration of the name before the site in this file,
+/// else the crate-wide taint set".
+#[derive(Debug)]
+pub struct Decl {
+    name: String,
+    /// Token index of the declared name.
+    pos: usize,
+    is_hash: bool,
+}
+
+/// Collects per-file declarations. `taint` is the crate-wide hash-name
+/// set: an untyped initializer mentioning a tainted name (e.g.
+/// `let merged = caps.clone()`) propagates hash-ness.
+pub fn collect_decls(lexed: &Lexed, taint: &BTreeSet<String>) -> Vec<Decl> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let hashy = |t: &Tok| {
+        t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet" || taint.contains(&t.text))
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : …` — type annotation or struct-literal field value.
+        if toks.get(i + 1).is_some_and(|n| n.text == ":") {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut is_hash = false;
+            while j < toks.len() && j < i + 60 {
+                let p = &toks[j];
+                match p.text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "," | ";" | "=" | "{" | "}" if depth == 0 => break,
+                    _ => {}
+                }
+                is_hash |= hashy(p);
+                j += 1;
+            }
+            out.push(Decl {
+                name: t.text.clone(),
+                pos: i,
+                is_hash,
+            });
+        }
+        // Untyped `let (mut)? name = expr ;` (typed lets hit the arm above).
+        // Hash-ness holds only when the initializer mentions
+        // HashMap/HashSet directly, or is a plain alias / clone of a
+        // tainted binding (`let m = caps;`, `let m = caps.clone();`).
+        // A mere *mention* of a tainted name (`let j = caps.len();`)
+        // must not taint: most methods on a hash map return scalars or
+        // already-flagged iterators.
+        if t.text == "let" {
+            let mut m = i + 1;
+            if toks.get(m).is_some_and(|n| n.text == "mut") {
+                m += 1;
+            }
+            let (Some(name), Some(eq)) = (toks.get(m), toks.get(m + 1)) else {
+                continue;
+            };
+            if name.kind != TokKind::Ident || eq.text != "=" {
+                continue;
+            }
+            let mut expr: Vec<&Tok> = Vec::new();
+            let mut j = m + 2;
+            while j < toks.len() && j < m + 80 && toks[j].text != ";" {
+                expr.push(&toks[j]);
+                j += 1;
+            }
+            let literal_hash = expr
+                .iter()
+                .any(|p| p.kind == TokKind::Ident && (p.text == "HashMap" || p.text == "HashSet"));
+            out.push(Decl {
+                name: name.text.clone(),
+                pos: m,
+                is_hash: literal_hash || is_tainted_alias(&expr, taint),
+            });
+        }
+    }
+    out
+}
+
+/// True when `expr` is (a reference to) a tainted binding, optionally
+/// `.clone()`d / `.to_owned()`d — the initializer shapes that hand the
+/// whole hash collection to a new name.
+fn is_tainted_alias(expr: &[&Tok], taint: &BTreeSet<String>) -> bool {
+    let mut k = 0usize;
+    while k < expr.len() && matches!(expr[k].text.as_str(), "&" | "mut") {
+        k += 1;
+    }
+    let Some(head) = expr.get(k) else {
+        return false;
+    };
+    if head.kind != TokKind::Ident || !taint.contains(&head.text) {
+        return false;
+    }
+    let rest: Vec<&str> = expr[k + 1..].iter().map(|t| t.text.as_str()).collect();
+    rest.is_empty() || rest == [".", "clone", "(", ")"] || rest == [".", "to_owned", "(", ")"]
+}
+
+/// Is the identifier `name` hash-typed at token position `site`?
+fn resolve_hash(name: &str, site: usize, decls: &[Decl], taint: &BTreeSet<String>) -> bool {
+    decls
+        .iter()
+        .rfind(|d| d.name == name && d.pos < site)
+        .map_or_else(|| taint.contains(name), |d| d.is_hash)
+}
+
+/// For `= HashMap…` at `eq`, returns the binding name to the left of
+/// the `=`: scans back to the statement's `let` and reads
+/// `let (mut)? NAME` forward, which skips any `: Type` annotation in
+/// between without mis-reading a type ident as the binding.
+fn binding_left_of_eq(toks: &[Tok], eq: usize) -> Option<String> {
+    let floor = eq.saturating_sub(40);
+    let mut k = eq;
+    while k > floor {
+        k -= 1;
+        match toks[k].text.as_str() {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut m = k + 1;
+                if toks.get(m).map(|t| t.text.as_str()) == Some("mut") {
+                    m += 1;
+                }
+                let name = toks.get(m)?;
+                return (name.kind == TokKind::Ident).then(|| name.text.clone());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Resolves the receiver identifier of a method call: for
+/// `base . method (`, `base` may be a plain ident or an index
+/// expression `name [ … ]`.
+fn receiver_ident(toks: &[Tok], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let prev = &toks[dot - 1];
+    if prev.kind == TokKind::Ident {
+        return Some(prev.text.clone());
+    }
+    if prev.text == "]" {
+        // Scan back to the matching `[` and take the ident before it.
+        let mut depth = 0i32;
+        let mut k = dot - 1;
+        loop {
+            match toks[k].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if k >= 1 && toks[k - 1].kind == TokKind::Ident {
+                            return Some(toks[k - 1].text.clone());
+                        }
+                        return None;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+    }
+    None
+}
+
+/// True when the statement containing token `pos`, or one of the two
+/// statements after it, re-orders the data (sort / BTree collect) —
+/// the "feeds an immediate sort" exemption of D2.
+fn feeds_immediate_sort(toks: &[Tok], pos: usize) -> bool {
+    let mut semis = 0;
+    let mut j = pos;
+    while j < toks.len() && semis < 3 {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && is_reordering_ident(&t.text) {
+            return true;
+        }
+        if t.text == ";" {
+            semis += 1;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Lints one lexed file under `policy`. `hash_names` is the crate-wide
+/// hash-typed identifier set (from [`collect_hash_names`]).
+pub fn lint_tokens(
+    file: &str,
+    lexed: &Lexed,
+    policy: &Policy,
+    hash_names: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let decls = collect_decls(lexed, hash_names);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // --- D1: wall clock -------------------------------------------------
+    if policy.wall != WallPolicy::Free {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            // `Instant :: now` / `SystemTime :: now` and the import /
+            // fully-qualified forms `time :: Instant`, `time :: SystemTime`.
+            // (`Instant` alone is NOT flagged: `ServiceModel::Instant` is a
+            // legitimate virtual-time variant in pcn-sim.)
+            // Any `SystemTime` mention is a hit; `Instant` needs the
+            // `::now` or `time::` context (see doc above).
+            let wall_hit = t.text == "SystemTime"
+                || t.text == "Instant"
+                    && toks.get(i + 1).is_some_and(|n| n.text == "::")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "now")
+                || t.text == "time"
+                    && toks.get(i + 1).is_some_and(|n| n.text == "::")
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.text == "Instant" || n.text == "SystemTime");
+            if wall_hit {
+                let msg = match policy.wall {
+                    WallPolicy::Forbid => format!(
+                        "[D1 wall-clock] `{}` in a deterministic crate: virtual time only — \
+                         use `pcn_sim::des::SimTime`; wall metrics belong in bench/testbed \
+                         crates behind `pcn_proto::wall_now()`",
+                        t.text
+                    ),
+                    _ => format!(
+                        "[D1 wall-clock] raw `{}` outside the allowlisted helper: call \
+                         `pcn_proto::wall_now()` so wall time has exactly one entry point",
+                        t.text
+                    ),
+                };
+                raw.push(Finding {
+                    rule: Rule::WallClock,
+                    file: file.into(),
+                    line: t.line,
+                    message: msg,
+                });
+            }
+            // Helper call sites must bind into `wall_*` names so wall
+            // metrics stay visibly segregated from virtual ones.
+            if t.text == "wall_now" && toks.get(i + 1).is_some_and(|n| n.text == "(") {
+                if let Some((name, line)) = assigned_binding(toks, i) {
+                    if !name.starts_with("wall") {
+                        raw.push(Finding {
+                            rule: Rule::WallClock,
+                            file: file.into(),
+                            line,
+                            message: format!(
+                                "[D1 wall-clock] `wall_now()` result bound to `{name}`: \
+                                 wall-time bindings must be `wall_*`-prefixed"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- D2: hash-order iteration ---------------------------------------
+    if policy.hash_order {
+        for (i, t) in toks.iter().enumerate() {
+            // Method-call sites: `name.iter()`, `nbrs[u].keys()` …
+            if t.kind == TokKind::Ident
+                && ORDER_METHODS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                && i >= 1
+                && toks[i - 1].text == "."
+            {
+                if let Some(base) = receiver_ident(toks, i - 1) {
+                    if resolve_hash(&base, i, &decls, hash_names) && !feeds_immediate_sort(toks, i)
+                    {
+                        raw.push(Finding {
+                            rule: Rule::HashOrder,
+                            file: file.into(),
+                            line: t.line,
+                            message: format!(
+                                "[D2 hash-order] `{base}.{}()` iterates a hash collection in \
+                                 arbitrary order: sort first / use BTreeMap, or annotate \
+                                 `// det-lint: allow(hash-order) — <why order cannot matter>`",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+            }
+            // `for PAT in EXPR {` sites where EXPR names a hash
+            // collection directly (not a same-named method call).
+            if t.kind == TokKind::Ident && t.text == "for" {
+                // Find the `in` at paren depth 0, then the loop `{`.
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                let mut in_pos = None;
+                while j < toks.len() && j < i + 80 {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "in" if depth == 0 && toks[j].kind == TokKind::Ident => {
+                            in_pos = Some(j);
+                            break;
+                        }
+                        "{" | ";" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(inp) = in_pos {
+                    let mut k = inp + 1;
+                    while k < toks.len() && toks[k].text != "{" && k < inp + 60 {
+                        let e = &toks[k];
+                        // Skip method calls and field/method bases
+                        // (`caps.len()` iterates a range, not `caps`;
+                        // `.iter()` chains hit the method rule above).
+                        let next = toks.get(k + 1).map(|n| n.text.as_str());
+                        if e.kind == TokKind::Ident
+                            && next != Some("(")
+                            && next != Some(".")
+                            && resolve_hash(&e.text, k, &decls, hash_names)
+                            && !feeds_immediate_sort(toks, k)
+                        {
+                            raw.push(Finding {
+                                rule: Rule::HashOrder,
+                                file: file.into(),
+                                line: e.line,
+                                message: format!(
+                                    "[D2 hash-order] `for … in {}` iterates a hash collection \
+                                     in arbitrary order: sort keys first / switch to BTreeMap, \
+                                     or annotate `// det-lint: allow(hash-order) — <why>`",
+                                    e.text
+                                ),
+                            });
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- D3: threads / sync in the DES crate ----------------------------
+    if policy.threads {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let hit = t.text == "thread"
+                && toks.get(i + 1).is_some_and(|n| n.text == "::")
+                && toks.get(i + 2).is_some_and(|n| n.text == "spawn")
+                || t.text == "sync"
+                    && i >= 2
+                    && toks[i - 1].text == "::"
+                    && toks[i - 2].text == "std"
+                || t.text.starts_with("Atomic") && t.text.len() > "Atomic".len()
+                || SYNC_IDENTS.contains(&t.text.as_str());
+            if hit {
+                raw.push(Finding {
+                    rule: Rule::Thread,
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "[D3 thread] `{}` in pcn-sim: the DES is single-threaded by contract \
+                         (event order = (time, seq) only) until the conservative parallel \
+                         engine lands with deterministic merge rules",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- D4: {:?} of hash collections into output -----------------------
+    if policy.debug_format {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || !FORMAT_MACROS.contains(&t.text.as_str())
+                || toks.get(i + 1).map(|n| n.text.as_str()) != Some("!")
+            {
+                continue;
+            }
+            // Scan the macro's parenthesized args.
+            let Some(open) = toks.get(i + 2).filter(|n| n.text == "(") else {
+                continue;
+            };
+            let _ = open;
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut has_debug_spec = false;
+            let mut debug_names: Vec<String> = Vec::new();
+            let mut arg_hash = false;
+            while j < toks.len() {
+                let a = &toks[j];
+                match a.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if a.kind == TokKind::Str {
+                    for name in debug_specs(&a.text) {
+                        has_debug_spec = true;
+                        if !name.is_empty() {
+                            debug_names.push(name);
+                        }
+                    }
+                } else if a.kind == TokKind::Ident && resolve_hash(&a.text, j, &decls, hash_names) {
+                    arg_hash = true;
+                }
+                j += 1;
+            }
+            let named_hash = debug_names
+                .iter()
+                .any(|n| resolve_hash(n, i, &decls, hash_names));
+            if has_debug_spec && (arg_hash || named_hash) {
+                raw.push(Finding {
+                    rule: Rule::DebugFormat,
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "[D4 debug-format] `{}!` debug-formats a hash collection: `Debug` \
+                         leaks iteration order into output — sort into a Vec/BTreeMap first \
+                         or emit a stable serialization",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Annotations: suppress findings, flag bad ones ------------------
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let suppressed = lexed
+            .annotations
+            .iter()
+            .any(|a| a.rule == f.rule.name() && (a.line == f.line || a.line + 1 == f.line));
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    for bad in &lexed.bad_annotations {
+        out.push(Finding {
+            rule: Rule::Annotation,
+            file: file.into(),
+            line: bad.line,
+            message: format!("[annotation] {}", bad.reason),
+        });
+    }
+    for a in &lexed.annotations {
+        if !matches!(
+            a.rule.as_str(),
+            "wall-clock" | "hash-order" | "thread" | "debug-format"
+        ) {
+            out.push(Finding {
+                rule: Rule::Annotation,
+                file: file.into(),
+                line: a.line,
+                message: format!(
+                    "[annotation] unknown rule `{}` in det-lint allow (expected wall-clock, \
+                     hash-order, thread, or debug-format)",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    out.sort_by_key(|a| (a.line, a.rule));
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+/// For a call token at `pos` (e.g. `wall_now`), finds the binding the
+/// result is assigned to, searching back a few tokens for
+/// `let (mut)? NAME =` or `NAME =`. Returns `(name, line)`.
+fn assigned_binding(toks: &[Tok], pos: usize) -> Option<(String, u32)> {
+    let mut k = pos;
+    let floor = pos.saturating_sub(10);
+    while k > floor {
+        k -= 1;
+        if toks[k].text == ";" || toks[k].text == "{" {
+            return None;
+        }
+        if toks[k].text == "=" && k >= 1 && toks[k - 1].kind == TokKind::Ident {
+            let name = &toks[k - 1];
+            if name.text == "mut" {
+                continue;
+            }
+            return Some((name.text.clone(), name.line));
+        }
+    }
+    None
+}
+
+/// Extracts debug format specs from a format-string literal: returns
+/// one entry per `{…:?}` / `{…:#?}` hole; the entry is the inline name
+/// (`{name:?}` → `"name"`) or empty for positional holes.
+fn debug_specs(fmt: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = fmt.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'{' {
+            if b.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            if let Some(close) = fmt[i..].find('}') {
+                let hole = &fmt[i + 1..i + close];
+                if let Some((name, spec)) = hole.split_once(':') {
+                    if spec.contains('?') {
+                        out.push(name.trim().to_string());
+                    }
+                }
+                i += close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Convenience for fixtures and tests: lexes `src` and lints it as a
+/// standalone file (hash names collected from the file itself).
+pub fn lint_source(file: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    let lexed = lex(src);
+    let names = collect_hash_names(&[&lexed]);
+    lint_tokens(file, &lexed, policy, &names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> Policy {
+        Policy::deterministic(false)
+    }
+
+    #[test]
+    fn hash_names_from_type_annotations_and_initializers() {
+        let l = lex("struct S { caps: HashMap<EdgeId, Amount> }\n\
+             fn f(flow: &std::collections::HashMap<u32, u64>) {\n\
+                 let mut seen = HashSet::new();\n\
+                 let nbrs: Vec<std::collections::HashSet<u32>> = vec![];\n\
+                 let plain: Vec<u32> = vec![];\n\
+             }");
+        let names = collect_hash_names(&[&l]);
+        assert!(names.contains("caps"));
+        assert!(names.contains("flow"));
+        assert!(names.contains("seen"));
+        assert!(names.contains("nbrs"));
+        assert!(!names.contains("plain"));
+    }
+
+    #[test]
+    fn for_over_hash_map_is_flagged() {
+        let src = "fn f() { let mut m = HashMap::new(); for (k, v) in &m { use_it(k, v); } }";
+        let f = lint_source("x.rs", src, &det());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HashOrder);
+    }
+
+    #[test]
+    fn sorted_iteration_is_exempt() {
+        let src = "fn f() { let mut m = HashSet::new(); \
+                   let mut v: Vec<u32> = m.into_iter().collect(); v.sort_unstable(); }";
+        assert!(lint_source("x.rs", src, &det()).is_empty());
+    }
+
+    #[test]
+    fn annotated_site_is_suppressed_and_needs_justification() {
+        let good = "fn f() { let m = HashMap::new();\n\
+                    // det-lint: allow(hash-order) — sum fold, order-insensitive\n\
+                    let s: u64 = m.values().sum(); }";
+        assert!(lint_source("x.rs", good, &det()).is_empty());
+        let bare = "fn f() { let m = HashMap::new();\n\
+                    // det-lint: allow(hash-order)\n\
+                    let s: u64 = m.values().sum(); }";
+        let f = lint_source("x.rs", bare, &det());
+        assert!(f.iter().any(|f| f.rule == Rule::HashOrder));
+        assert!(f.iter().any(|f| f.rule == Rule::Annotation));
+    }
+
+    #[test]
+    fn local_declarations_override_crate_taint() {
+        // `caps` is hash-typed in one function, a slice in another: the
+        // slice function's sites must not inherit the taint.
+        let src = "fn g(caps: &HashMap<u32, u64>) { let _ = caps.get(&1); }\n\
+                   fn waterfill(caps: &[u64]) -> u64 {\n\
+                       let mut tot = 0;\n\
+                       for c in caps.iter() { tot += c; }\n\
+                       for k in 1..=caps.len() { tot += k as u64; }\n\
+                       tot\n\
+                   }";
+        let f = lint_source("x.rs", src, &det());
+        assert!(f.is_empty(), "{f:?}");
+        // …and a Vec rebinding of a hash name is clean after the `let`.
+        let shadow = "fn f(m: HashSet<u32>) { \
+                      let m: Vec<u32> = m.into_iter().collect(); m.sort(); \
+                      for x in m { use_it(x); } }";
+        assert!(lint_source("x.rs", shadow, &det()).is_empty());
+        // The cross-file taint fallback still fires for undeclared names.
+        let l1 = lex("struct S { caps: HashMap<u32, u64> }");
+        let l2 = lex("fn f(s: &S) { for (k, v) in &s.caps { use_it(k, v); } }");
+        let names = collect_hash_names(&[&l1, &l2]);
+        let f = lint_tokens("y.rs", &l2, &det(), &names);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HashOrder);
+    }
+
+    #[test]
+    fn wall_clock_forbidden_in_det_crates() {
+        let f = lint_source("x.rs", "fn f() { let t = Instant::now(); }", &det());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+        // …but the DES's virtual `ServiceModel::Instant` variant is fine.
+        assert!(lint_source("x.rs", "let m = ServiceModel::Instant;", &det()).is_empty());
+    }
+
+    #[test]
+    fn helper_crates_need_wall_prefixed_bindings() {
+        let p = Policy::wall_allowed();
+        let f = lint_source("x.rs", "fn f() { let start = wall_now(); }", &p);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("wall_*"));
+        assert!(lint_source("x.rs", "fn f() { let wall_start = wall_now(); }", &p).is_empty());
+        let raw = lint_source("x.rs", "fn f() { let wall_t = Instant::now(); }", &p);
+        assert_eq!(raw.len(), 1);
+    }
+
+    #[test]
+    fn threads_flagged_only_in_sim_policy() {
+        let src = "fn f() { std::thread::spawn(|| {}); let m = std::sync::Mutex::new(0); }";
+        assert!(!lint_source("x.rs", src, &Policy::deterministic(true)).is_empty());
+        assert!(lint_source("x.rs", src, &det()).is_empty());
+    }
+
+    #[test]
+    fn debug_format_of_hash_collection_flagged() {
+        let src = "fn f() { let m = HashMap::new(); let s = format!(\"{:?}\", m); }";
+        let f = lint_source("x.rs", src, &det());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::DebugFormat);
+        // Inline-named holes resolve too.
+        let inline = "fn f() { let m = HashMap::new(); let s = format!(\"{m:?}\"); }";
+        assert_eq!(lint_source("x.rs", inline, &det()).len(), 1);
+        // Debug of a non-hash value is fine.
+        let ok = "fn f() { let v = vec![1]; let s = format!(\"{v:?}\"); }";
+        assert!(lint_source("x.rs", ok, &det()).is_empty());
+    }
+}

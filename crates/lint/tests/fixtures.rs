@@ -1,0 +1,98 @@
+//! Fixture tests: every rule D1–D4 must reject its known-bad fixture
+//! (including a replay of the PR-3 `barabasi_albert` HashSet bug),
+//! annotated/sorted code must pass, and the real workspace must scan
+//! clean.
+
+use pcn_lint::rules::{lint_source, Rule};
+use pcn_lint::Policy;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+fn det() -> Policy {
+    Policy::deterministic(false)
+}
+
+#[test]
+fn d1_wall_clock_fixture_is_rejected() {
+    let f = lint_source("d1_wall_clock.rs", &fixture("d1_wall_clock.rs"), &det());
+    assert!(!f.is_empty());
+    assert!(f.iter().all(|f| f.rule == Rule::WallClock), "{f:?}");
+    // Both the import and the call site are caught.
+    assert!(f.len() >= 2, "{f:?}");
+}
+
+#[test]
+fn d2_pr3_hashset_bug_is_rejected() {
+    // The exact shape that shipped in PR 3: topologies differed per
+    // process because the attachment list grew in HashSet order.
+    let f = lint_source(
+        "d2_hash_order_pr3.rs",
+        &fixture("d2_hash_order_pr3.rs"),
+        &det(),
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, Rule::HashOrder);
+    assert_eq!(f[0].line, 9, "must point at the `for … in channels` loop");
+}
+
+#[test]
+fn d3_thread_fixture_is_rejected_under_sim_policy_only() {
+    let src = fixture("d3_thread.rs");
+    let f = lint_source("d3_thread.rs", &src, &Policy::deterministic(true));
+    assert!(
+        f.len() >= 3,
+        "Mutex import, Mutex::new, thread::spawn: {f:?}"
+    );
+    assert!(f.iter().all(|f| f.rule == Rule::Thread));
+    // The same tokens are fine outside pcn-sim (flash-core may not use
+    // them either, but D3 is a sim-only contract).
+    assert!(lint_source("d3_thread.rs", &src, &det()).is_empty());
+}
+
+#[test]
+fn d4_debug_format_fixture_is_rejected() {
+    let f = lint_source("d4_debug_format.rs", &fixture("d4_debug_format.rs"), &det());
+    assert_eq!(f.len(), 2, "one per format site: {f:?}");
+    assert!(f.iter().all(|f| f.rule == Rule::DebugFormat));
+}
+
+#[test]
+fn annotated_and_sorted_code_passes() {
+    let f = lint_source("good_annotated.rs", &fixture("good_annotated.rs"), &det());
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn unjustified_allow_suppresses_nothing() {
+    let f = lint_source("bad_annotation.rs", &fixture("bad_annotation.rs"), &det());
+    assert!(f.iter().any(|f| f.rule == Rule::HashOrder), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == Rule::Annotation), "{f:?}");
+}
+
+#[test]
+fn real_workspace_scans_clean() {
+    // The acceptance bar for every PR: the tree this test runs in has
+    // zero unjustified nondeterminism.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file());
+    let findings = pcn_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "det-lint findings in the workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

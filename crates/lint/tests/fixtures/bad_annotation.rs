@@ -1,0 +1,8 @@
+// Known-bad fixture: an `allow` with no written justification must not
+// suppress the finding, and must itself be reported.
+use std::collections::HashMap;
+
+pub fn total_fees(fees: &HashMap<u32, u64>) -> u64 {
+    // det-lint: allow(hash-order)
+    fees.values().sum()
+}

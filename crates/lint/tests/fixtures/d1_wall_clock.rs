@@ -1,0 +1,11 @@
+// Known-bad fixture for D1: wall-clock reads inside a deterministic
+// crate. Both the fully-qualified call and the import must be flagged.
+use std::time::Instant;
+
+pub fn route_latency() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    do_route();
+    start.elapsed()
+}
+
+fn do_route() {}

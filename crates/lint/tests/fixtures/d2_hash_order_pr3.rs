@@ -1,0 +1,14 @@
+// Known-bad fixture: replays the PR-3 `barabasi_albert` bug. The
+// preferential-attachment list was grown by iterating a `HashSet`, so
+// the generated topology differed per process and a figure test went
+// flaky. det_lint must flag the `for … in channels` loop (D2).
+use std::collections::HashSet;
+
+pub fn preferential_ends(channels: &HashSet<(usize, usize)>) -> Vec<usize> {
+    let mut ends: Vec<usize> = Vec::new();
+    for &(a, b) in channels {
+        ends.push(a);
+        ends.push(b);
+    }
+    ends
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for D3: threads and sync primitives inside the DES
+// crate. The engine is single-threaded by contract; all three tokens
+// below must be flagged under the pcn-sim policy.
+use std::sync::Mutex;
+
+pub fn spawn_worker() {
+    let shared = Mutex::new(0u64);
+    std::thread::spawn(move || {
+        *shared.lock().unwrap() += 1;
+    });
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for D4: `{:?}` of a hash collection into a report
+// string leaks iteration order into output.
+use std::collections::HashMap;
+
+pub fn balances_report(balances: &HashMap<u32, u64>) -> String {
+    format!("final balances: {balances:?}")
+}
+
+pub fn print_seen(seen: &HashMap<u32, u64>) {
+    println!("seen = {:?}", seen);
+}

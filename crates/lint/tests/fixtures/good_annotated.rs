@@ -1,0 +1,15 @@
+// Known-good fixture: hash iteration that is either justified by an
+// annotation or feeds an immediate sort. Must lint clean under the
+// deterministic policy.
+use std::collections::HashMap;
+
+pub fn total_fees(fees: &HashMap<u32, u64>) -> u64 {
+    // det-lint: allow(hash-order) — integer sum over values, order-insensitive
+    fees.values().sum()
+}
+
+pub fn sorted_keys(fees: &HashMap<u32, u64>) -> Vec<u32> {
+    let mut keys: Vec<u32> = fees.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which routing scheme the testbed runner drives. All five schemes run
 /// through the same [`Router`] implementations as the §4 simulator.
@@ -435,14 +435,14 @@ impl TestbedRunner {
         let mut report = TestbedReport::default();
         for p in trace {
             let class = p.classify(self.elephant_threshold);
-            let start = Instant::now();
+            let wall_start = crate::wall_now();
             let outcome = self.route_outcome(p, class);
-            let elapsed = start.elapsed();
+            let wall_elapsed = wall_start.elapsed();
             report.attempted += 1;
-            report.total_delay += elapsed;
+            report.total_delay += wall_elapsed;
             if class.is_mice() {
                 report.mice_count += 1;
-                report.mice_delay += elapsed;
+                report.mice_delay += wall_elapsed;
             }
             if let RouteOutcome::Success { volume, fees, .. } = outcome {
                 report.succeeded += 1;

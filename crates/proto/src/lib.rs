@@ -29,15 +29,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports through returned values and serialized artifacts,
+// never ad-hoc stdout; the experiment/bench binaries print, libraries do not.
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod backend;
 pub mod cluster;
 pub mod fault;
 pub mod node;
 pub mod transport;
+pub mod wall;
 pub mod wire;
 
 pub use backend::ClusterSession;
 pub use cluster::{Cluster, SchemeKind, TestbedReport, TestbedRunner};
 pub use fault::FaultPlan;
+pub use wall::wall_now;
 pub use wire::{Message, MsgType};

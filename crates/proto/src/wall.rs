@@ -1,0 +1,29 @@
+//! The single wall-clock entry point of the workspace.
+//!
+//! Everything deterministic (pcn-types, pcn-graph, pcn-lp, pcn-sim,
+//! flash-core, pcn-workload) runs on virtual time
+//! (`pcn_sim::des::SimTime`) and must never read the host clock:
+//! same-seed runs are bit-identical, and `det_lint` rule D1 rejects
+//! `Instant::now` / `SystemTime` there outright.
+//!
+//! The testbed and the bench/experiment binaries *do* need wall time —
+//! Figures 12/13 report real per-transaction processing delay over TCP
+//! — so they get it from exactly one place: this module. Rule D1 lets
+//! this file touch `std::time::Instant` and requires every caller to
+//! (a) use [`wall_now`] rather than `Instant::now()` and (b) bind the
+//! result to a `wall_*`-prefixed name, so wall-clock metrics stay
+//! visibly segregated from virtual-time ones in every diff.
+
+use std::time::Instant;
+
+/// Reads the host monotonic clock. Bind the result to a
+/// `wall_*`-prefixed variable (enforced by `det_lint`):
+///
+/// ```
+/// let wall_start = pcn_proto::wall_now();
+/// let wall_elapsed = wall_start.elapsed();
+/// ```
+#[must_use]
+pub fn wall_now() -> Instant {
+    Instant::now()
+}

@@ -31,6 +31,33 @@
 //!   workload (`pcn_workload::arrivals` builds Poisson and
 //!   trace-replay arrival processes) and reports completion-latency
 //!   percentiles, peak in-flight, and throughput in [`DesReport`].
+//!
+//! # Determinism invariants
+//!
+//! The differential suite (zero-latency DES ≡ instantaneous simulator,
+//! svc=0 ≡ committed bench, same-seed bit-identical reports) relies on
+//! three invariants, enforced statically by `pcn-lint` (`det_lint`) on
+//! every PR:
+//!
+//! 1. **No wall clock** (rule D1): time here is [`SimTime`] — virtual
+//!    microseconds advanced only by the event queue. Nothing in this
+//!    crate may touch `std::time::Instant::now` or `SystemTime`; wall
+//!    metrics live in the testbed/bench crates behind
+//!    `pcn_proto::wall_now()`.
+//! 2. **Total event order** (rule D2): events are ordered by
+//!    `(time, seq)` where `seq` is the insertion sequence — and by
+//!    *nothing else*. No `HashMap`/`HashSet` iteration order may reach
+//!    scheduling decisions, metrics, or serialized reports; hash-order
+//!    iteration elsewhere must feed a sort or carry a justified
+//!    `// det-lint: allow(hash-order) — …` annotation.
+//! 3. **Single-threaded by contract** (rule D3): no `thread::spawn`,
+//!    no `std::sync` primitives in this crate. A conservative parallel
+//!    engine may relax this later, but only with deterministic merge
+//!    rules that keep the `(time, seq)` order observable-equivalent.
+//!
+//! Given those, the whole engine is a pure function of
+//! (topology seed, workload seed, model parameters): running it twice
+//! — on one machine or two — produces byte-identical [`DesReport`]s.
 
 pub mod engine;
 pub mod latency;

@@ -19,6 +19,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports through returned values and serialized artifacts,
+// never ad-hoc stdout; the experiment/bench binaries print, libraries do not.
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod amount;
 pub mod error;

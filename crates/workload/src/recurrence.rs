@@ -182,8 +182,13 @@ mod tests {
             *hist.entry(*s).or_default().entry(*r).or_insert(0) += 1;
         }
         // Average top-5 share among senders with enough transactions.
+        // Fold in sorted sender order: the f64 mean must not depend on
+        // hash iteration order.
+        let mut per_sender: Vec<(NodeId, HashMap<NodeId, usize>)> = hist.into_iter().collect();
+        per_sender.sort_unstable_by_key(|&(s, _)| s);
         let mut shares = Vec::new();
-        for (_, recv) in hist {
+        // det-lint: allow(hash-order) — per_sender is a Vec sorted by sender just above
+        for (_, recv) in per_sender {
             let total: usize = recv.values().sum();
             if total < 50 {
                 continue;

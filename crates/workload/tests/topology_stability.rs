@@ -1,0 +1,45 @@
+//! Same-seed topology builders must be fully reproducible across
+//! invocations — wiring *and* per-edge balances — since every figure
+//! and differential test keys off a seeded topology.
+
+use pcn_graph::io::to_edge_list;
+use pcn_graph::EdgeId;
+use pcn_sim::Network;
+use pcn_workload::{lightning_topology, ripple_topology, testbed_topology};
+use proptest::prelude::*;
+
+/// Serializes wiring plus the balance of every directed edge, so two
+/// equal strings mean the networks are observably identical.
+fn fingerprint(net: &Network) -> String {
+    let mut out = to_edge_list(net.graph());
+    for e in 0..net.graph().edge_count() {
+        let id = EdgeId(u32::try_from(e).expect("edge count fits u32"));
+        out.push_str(&format!("bal {} {}\n", e, net.balance(id).micros()));
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn testbed_topology_is_seed_deterministic(seed in 0u64..1_000_000) {
+        let a = fingerprint(&testbed_topology(40, 1000, 1500, seed));
+        let b = fingerprint(&testbed_topology(40, 1000, 1500, seed));
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn ripple_topology_is_seed_deterministic() {
+    assert_eq!(
+        fingerprint(&ripple_topology(7)),
+        fingerprint(&ripple_topology(7))
+    );
+}
+
+#[test]
+fn lightning_topology_is_seed_deterministic() {
+    assert_eq!(
+        fingerprint(&lightning_topology(7)),
+        fingerprint(&lightning_topology(7))
+    );
+}
