@@ -24,7 +24,9 @@
 //! full-scale run happens on the weekly scheduled CI job.
 //!
 //! Everything virtual is deterministic: two runs of this binary must
-//! produce byte-identical JSON except for the `wall_ns` timing fields.
+//! produce byte-identical JSON except for the wall-derived `wall_ns`
+//! and `events_per_sec` fields (which is why the gate only *warns* on
+//! `events_per_sec` drops).
 
 use pcn_experiments::harness::{run_scheme_des, DesLoad, DEFAULT_MICE_FRACTION};
 use pcn_experiments::SimScheme;
@@ -55,6 +57,7 @@ struct Record {
     events: u64,
     virtual_makespan_ms: f64,
     wall_ns: u64,
+    events_per_sec: f64,
 }
 
 const SCHEMES: [SimScheme; 5] = SimScheme::ALL;
@@ -141,6 +144,11 @@ fn main() {
                 events: report.events,
                 virtual_makespan_ms: report.makespan.as_millis_f64(),
                 wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                events_per_sec: if wall.as_secs_f64() > 0.0 {
+                    report.events as f64 / wall.as_secs_f64()
+                } else {
+                    0.0
+                },
             });
         }
     }

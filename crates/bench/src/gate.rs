@@ -11,7 +11,9 @@
 //!   flow values themselves must be **identical** (they are
 //!   deterministic; any drift is a kernel bug), while wall-clock
 //!   timings only *warn* — CI runners are too noisy for a hard
-//!   wall-time gate.
+//!   wall-time gate. The e2e bench's wall-derived `events_per_sec`
+//!   (the hot-loop churn metric) warns on >25% drops for the same
+//!   reason.
 //! * **Physical suspicion** — result *shapes* that are numerically
 //!   valid but physically implausible fail even when they diff
 //!   cleanly against an equally suspicious baseline. The canonical
@@ -85,6 +87,11 @@ pub struct E2eRecord {
     pub virtual_makespan_ms: f64,
     /// Wall-clock cost of the simulation, ns (not gated).
     pub wall_ns: u64,
+    /// Engine events processed per wall-clock second — the hot-loop
+    /// churn metric `des_hot_loop` tracks. Wall-derived, so drops
+    /// beyond [`MAX_REGRESSION`] only *warn* (CI hardware varies).
+    #[serde(default)]
+    pub events_per_sec: f64,
 }
 
 impl E2eRecord {
@@ -290,6 +297,18 @@ pub fn gate_e2e(baseline: &str, candidate: &str) -> Result<GateReport, String> {
                 pct(d_ratio),
                 b.success_ratio * 100.0,
                 c.success_ratio * 100.0
+            ));
+        }
+        let d_eps = rel_change(b.events_per_sec, c.events_per_sec);
+        if b.events_per_sec > 0.0 && c.events_per_sec > 0.0 && d_eps < -MAX_REGRESSION {
+            report.warn(format!(
+                "{} @ {} pps: engine events/sec down {} ({:.0} → {:.0}) — \
+                 hot-loop churn suspect; warn-only (CI hardware varies)",
+                c.scheme,
+                c.offered_pps,
+                pct(d_eps),
+                b.events_per_sec,
+                c.events_per_sec
             ));
         }
     }

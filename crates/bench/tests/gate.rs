@@ -107,6 +107,42 @@ fn gate_tolerates_regressions_under_the_threshold() {
 }
 
 #[test]
+fn gate_warns_but_never_fails_on_events_per_sec_drop() {
+    // events/sec is wall-derived (the one metric `des_hot_loop` feeds
+    // into BENCH_e2e.json): a >25% drop flags hot-loop churn, but CI
+    // hardware varies, so it must stay warn-only.
+    let with_eps = |eps: f64| {
+        let mut r = e2e_record("Flash", 50.0, 16.0, 550.0, 2200.0, 4000.0, 0.77);
+        r.truncate(r.len() - 1);
+        format!("{r},\"events_per_sec\":{eps}}}")
+    };
+    let base = array(&[with_eps(1_400_000.0)]);
+    let cand = array(&[with_eps(900_000.0)]); // -36%
+    let report = gate_e2e(&base, &cand).expect("parses");
+    assert!(
+        report.passed(),
+        "wall-derived metrics must not fail the gate: {:#?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Warn && f.message.contains("events/sec")),
+        "{:#?}",
+        report.findings
+    );
+    // A candidate without the field (pre-PR-7 artifact) stays silent:
+    // 0.0-defaulted values are not comparable.
+    let legacy = array(&[e2e_record("Flash", 50.0, 16.0, 550.0, 2200.0, 4000.0, 0.77)]);
+    let report = gate_e2e(&base, &legacy).expect("parses");
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !f.message.contains("events/sec")));
+}
+
+#[test]
 fn gate_warns_on_unmatched_records_and_fails_on_total_mismatch() {
     let base = healthy();
     // One record matches nothing (different service time ⇒ new key).

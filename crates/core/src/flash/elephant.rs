@@ -130,6 +130,7 @@ pub fn find_paths_with(
             // than looping forever on the same unprobeable path.
             let first = graph
                 .edge(path.nodes()[0], path.nodes()[1])
+                // pcn-lint: allow(panic) — the path was produced by BFS over this same graph
                 .expect("BFS path edge must exist");
             residual.insert(first, 0);
             continue;
@@ -137,6 +138,7 @@ pub fn find_paths_with(
 
         // Record first-probe capacities for both directions (lines 17–22).
         for ((u, v), info) in path.channels().zip(&report) {
+            // pcn-lint: allow(panic) — the path was produced by BFS over this same graph
             let e = graph.edge(u, v).expect("path edge must exist");
             plan.capacities.entry(e).or_insert_with(|| {
                 residual.insert(e, info.capacity.micros() as u128);
@@ -156,8 +158,9 @@ pub fn find_paths_with(
         let bottleneck = path
             .channels()
             .map(|(u, v)| {
+                // pcn-lint: allow(panic) — BFS path edge; residual inserted at first probe above
                 let e = graph.edge(u, v).expect("path edge must exist");
-                *residual.get(&e).expect("probed edge has residual")
+                *residual.get(&e).expect("probed edge has residual") // pcn-lint: allow(panic) — inserted when the capacity was recorded
             })
             .min()
             .unwrap_or(0);
@@ -168,8 +171,10 @@ pub fn find_paths_with(
             // Push flow: decrease forward residuals, increase reverse
             // (lines 23–24).
             for (u, v) in path.channels() {
+                // pcn-lint: allow(panic) — BFS path edge; residual inserted at first probe above
                 let e = graph.edge(u, v).expect("path edge must exist");
-                *residual.get_mut(&e).expect("probed") -= bottleneck;
+                *residual.get_mut(&e).expect("probed") -= bottleneck; // pcn-lint: allow(panic) — inserted when the capacity was recorded
+
                 if let Some(rev) = graph.reverse_edge(e) {
                     if let Some(r) = residual.get_mut(&rev) {
                         *r += bottleneck;

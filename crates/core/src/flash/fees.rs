@@ -63,6 +63,7 @@ pub fn split_payment(
 fn path_unit_cost(graph: &DiGraph, plan: &ElephantPlan, path: &Path) -> f64 {
     let mut ppm = 0.0f64;
     for (u, v) in path.channels() {
+        // pcn-lint: allow(panic) — plan paths were discovered over this same graph
         let e = graph.edge(u, v).expect("plan path edge must exist");
         ppm += plan
             .fees
@@ -103,6 +104,7 @@ fn sequential_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> 
         let bottleneck = path
             .channels()
             .map(|(u, v)| {
+                // pcn-lint: allow(panic) — plan paths were discovered over this same graph
                 let e = graph.edge(u, v).expect("plan path edge must exist");
                 residual(e, graph, &plan.capacities, &flow)
             })
@@ -113,9 +115,10 @@ fn sequential_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> 
             continue;
         }
         for (u, v) in path.channels() {
-            let e = graph.edge(u, v).unwrap();
+            let e = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
             *flow.entry(e).or_insert(0) += x;
         }
+        // pcn-lint: allow(panic) — x ≤ remaining ≤ demand.micros(), which is u64
         alloc[i] = u64::try_from(x).expect("allocation bounded by u64 demand");
         remaining -= x;
     }
@@ -142,7 +145,7 @@ fn lp_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> Option<V
         let mut seen = std::collections::HashSet::new();
         for p in &plan.paths {
             for (u, v) in p.channels() {
-                let e = graph.edge(u, v).unwrap();
+                let e = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
                 if seen.insert(e) {
                     edges.push(e);
                 }
@@ -155,7 +158,7 @@ fn lp_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> Option<V
         for (i, p) in plan.paths.iter().enumerate() {
             let mut coef = 0.0;
             for (u, v) in p.channels() {
-                let pe = graph.edge(u, v).unwrap();
+                let pe = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
                 if pe == e {
                     coef += 1.0;
                 } else if Some(pe) == rev {
@@ -184,7 +187,7 @@ fn lp_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> Option<V
     let mut flow: HashMap<EdgeId, u128> = HashMap::new();
     for (i, p) in plan.paths.iter().enumerate() {
         for (u, v) in p.channels() {
-            let e = graph.edge(u, v).unwrap();
+            let e = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
             *flow.entry(e).or_insert(0) += alloc[i] as u128;
         }
     }
@@ -192,7 +195,7 @@ fn lp_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> Option<V
     let mut rem = (demand.micros() as u128).checked_sub(assigned)?;
     if rem > 0 {
         let mut order: Vec<usize> = (0..np).collect();
-        order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).unwrap());
+        order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
         for i in order {
             if rem == 0 {
                 break;
@@ -200,7 +203,7 @@ fn lp_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> Option<V
             let addable = plan.paths[i]
                 .channels()
                 .map(|(u, v)| {
-                    let e = graph.edge(u, v).unwrap();
+                    let e = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
                     residual(e, graph, &plan.capacities, &flow)
                 })
                 .min()
@@ -210,9 +213,10 @@ fn lp_allocate(graph: &DiGraph, plan: &ElephantPlan, demand: Amount) -> Option<V
                 continue;
             }
             for (u, v) in plan.paths[i].channels() {
-                let e = graph.edge(u, v).unwrap();
+                let e = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
                 *flow.entry(e).or_insert(0) += addable;
             }
+            // pcn-lint: allow(panic) — addable ≤ rem ≤ demand.micros(), which is u64
             alloc[i] += u64::try_from(addable).unwrap();
             rem -= addable;
         }
@@ -235,7 +239,7 @@ fn materialize(
             continue;
         }
         for (u, v) in path.channels() {
-            let e = graph.edge(u, v).unwrap();
+            let e = graph.edge(u, v).unwrap(); // pcn-lint: allow(panic) — plan path edges exist in the discovery graph
             edge_flow[e.index()] = edge_flow[e.index()].checked_add(a)?;
         }
     }
@@ -275,6 +279,7 @@ pub fn evaluate_fees(graph: &DiGraph, plan: &ElephantPlan, parts: &[(Path, Amoun
     let mut total = Amount::ZERO;
     for (path, amount) in parts {
         for (u, v) in path.channels() {
+            // pcn-lint: allow(panic) — parts are decomposed from flows on this same graph
             let e = graph.edge(u, v).expect("part path edge must exist");
             if let Some(fee) = plan.fees.get(&e) {
                 total = total.saturating_add(fee.fee(*amount));

@@ -134,6 +134,7 @@ impl SpeedyMurmursRouter {
             cur = v;
             cur_dist = d;
         }
+        // pcn-lint: allow(panic) — greedy descent strictly decreases distance, so nodes never repeat
         Some(Path::new(nodes, None).expect("greedy route is simple by construction"))
     }
 }

@@ -228,7 +228,7 @@ pub fn run_scheme(
         let class = p.classify(threshold);
         router.route(&mut net, p, class);
     }
-    net.metrics().clone()
+    std::mem::take(net.metrics_mut())
 }
 
 /// The load-and-delay configuration of one discrete-event run: the

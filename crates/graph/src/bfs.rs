@@ -109,6 +109,7 @@ fn reconstruct(parent: &[Option<NodeId>], s: NodeId, t: NodeId) -> Path {
     let mut nodes = vec![t];
     let mut cur = t;
     while cur != s {
+        // pcn-lint: allow(panic) — BFS recorded a parent for every node it reached
         cur = parent[cur.index()].expect("parent chain broken");
         nodes.push(cur);
     }

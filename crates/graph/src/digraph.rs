@@ -119,6 +119,7 @@ impl DiGraph {
         if self.index.contains_key(&(u, v)) {
             return Err(PcnError::InvalidConfig(format!("duplicate edge {u}→{v}")));
         }
+        // pcn-lint: allow(panic) — EdgeId is u32 by design; 4B edges is beyond any PCN topology
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count exceeds u32"));
         self.edges.push((u, v));
         self.out_edges[u.index()].push((v, id));

@@ -61,6 +61,7 @@ pub fn shortest_path_weighted(
     let mut nodes = vec![t];
     let mut cur = t;
     while cur != s {
+        // pcn-lint: allow(panic) — Dijkstra recorded a parent for every settled node
         cur = parent[cur.index()].expect("parent chain broken");
         nodes.push(cur);
     }

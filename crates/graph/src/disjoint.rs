@@ -20,6 +20,7 @@ pub fn edge_disjoint_paths(g: &DiGraph, s: NodeId, t: NodeId, k: usize) -> Vec<P
             break;
         };
         for (u, v) in p.channels() {
+            // pcn-lint: allow(panic) — the path was just produced by BFS over this graph
             used.insert(g.edge(u, v).expect("path edge must exist"));
         }
         out.push(p);

@@ -199,6 +199,7 @@ fn build_bidirectional(n: usize, channels: HashSet<(usize, usize)>) -> DiGraph {
     sorted.sort_unstable(); // determinism independent of HashSet order
     for (u, v) in sorted {
         g.add_channel(NodeId::from_index(u), NodeId::from_index(v))
+            // pcn-lint: allow(panic) — generators emit distinct in-range pairs without duplicates
             .expect("generator produced an invalid edge");
     }
     g

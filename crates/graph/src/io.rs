@@ -16,8 +16,10 @@ use std::fmt::Write as _;
 /// `# nodes <n>` followed by one `u v` pair per directed edge.
 pub fn to_edge_list(g: &DiGraph) -> String {
     let mut out = String::new();
+    // pcn-lint: allow(panic) — fmt::Write to a String cannot fail
     writeln!(out, "# nodes {}", g.node_count()).unwrap();
     for (_, u, v) in g.edges() {
+        // pcn-lint: allow(panic) — fmt::Write to a String cannot fail
         writeln!(out, "{} {}", u.0, v.0).unwrap();
     }
     out

@@ -52,12 +52,14 @@ struct Residual {
 }
 
 impl Residual {
+    // Every `vec!` below is part of the per-solve arena: sized once from
+    // the graph, never grown or reallocated inside the search loops.
     fn build(g: &DiGraph, capacity: &[u64]) -> Self {
         let n = g.node_count();
         let m = g.edge_count();
-        let mut to = vec![0u32; 2 * m];
-        let mut cap = vec![0u64; 2 * m];
-        let mut deg = vec![0usize; n];
+        let mut to = vec![0u32; 2 * m]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
+        let mut cap = vec![0u64; 2 * m]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
+        let mut deg = vec![0usize; n]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
         for (e, u, v) in g.edges() {
             to[2 * e.index()] = v.0;
             cap[2 * e.index()] = capacity[e.index()];
@@ -65,12 +67,12 @@ impl Residual {
             deg[u.index()] += 1;
             deg[v.index()] += 1;
         }
-        let mut start = vec![0usize; n + 1];
+        let mut start = vec![0usize; n + 1]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
         for i in 0..n {
             start[i + 1] = start[i] + deg[i];
         }
-        let mut fill = start.clone();
-        let mut adj = vec![0u32; 2 * m];
+        let mut fill = start.clone(); // pcn-lint: allow(hot-alloc) — per-solve CSR fill cursor
+        let mut adj = vec![0u32; 2 * m]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
         for (e, u, v) in g.edges() {
             adj[fill[u.index()]] = (2 * e.index()) as u32;
             fill[u.index()] += 1;
@@ -94,6 +96,10 @@ struct Search<'a> {
     /// or level-infeasible for the current phase (the memoization that
     /// makes blocking flow O(V·E) per phase).
     it: Vec<usize>,
+    /// BFS frontier, hoisted out of [`Search::bfs`] so the per-phase
+    /// (and, under scaling, per-Δ-round) level rebuilds reuse one
+    /// buffer instead of allocating a fresh queue each sweep.
+    frontier: VecDeque<usize>,
     delta: u64,
     t: usize,
 }
@@ -106,9 +112,9 @@ impl Search<'_> {
     fn bfs(&mut self, s: usize) -> bool {
         self.level.fill(UNREACHED);
         self.level[s] = 0;
-        let mut q = VecDeque::new();
-        q.push_back(s);
-        while let Some(u) = q.pop_front() {
+        self.frontier.clear();
+        self.frontier.push_back(s);
+        while let Some(u) = self.frontier.pop_front() {
             for &a in &self.r.adj[self.r.start[u]..self.r.start[u + 1]] {
                 let a = a as usize;
                 let v = self.r.to[a] as usize;
@@ -117,7 +123,7 @@ impl Search<'_> {
                     if v == self.t {
                         return true;
                     }
-                    q.push_back(v);
+                    self.frontier.push_back(v);
                 }
             }
         }
@@ -149,6 +155,7 @@ impl Search<'_> {
     }
 }
 
+// pcn-lint: hot — the maxflow kernel; allocations here are per-solve arenas only
 fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool) -> MaxFlow {
     assert_eq!(
         capacity.len(),
@@ -159,7 +166,7 @@ fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool)
     if s == t || s.index() >= n || t.index() >= n {
         return MaxFlow {
             value: 0,
-            edge_flow: vec![0; g.edge_count()],
+            edge_flow: vec![0; g.edge_count()], // pcn-lint: allow(hot-alloc) — degenerate-query result, once per solve
         };
     }
     let mut residual = Residual::build(g, capacity);
@@ -176,8 +183,9 @@ fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool)
     };
     let mut search = Search {
         r: &mut residual,
-        level: vec![UNREACHED; n],
-        it: vec![0; n],
+        level: vec![UNREACHED; n], // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
+        it: vec![0; n],            // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
+        frontier: VecDeque::with_capacity(n), // pcn-lint: allow(hot-alloc) — per-solve BFS frontier, reused across phases
         delta,
         t: t.index(),
     };
@@ -206,7 +214,7 @@ fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool)
     // undo arc.
     let mut flow: Vec<u64> = (0..g.edge_count())
         .map(|e| residual.cap[2 * e + 1])
-        .collect();
+        .collect(); // pcn-lint: allow(hot-alloc) — the result vector itself, once per solve
     cancel_opposing_flows(g, &mut flow);
     MaxFlow {
         value,

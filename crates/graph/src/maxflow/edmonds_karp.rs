@@ -88,6 +88,7 @@ pub fn edmonds_karp(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64]) -> MaxF
         let mut bottleneck = u64::MAX;
         let mut cur = t;
         while cur != s {
+            // pcn-lint: allow(panic) — BFS recorded pred for every node on the augmenting path
             let (pu, e, forward) = pred[cur.index()].unwrap();
             let avail = if forward {
                 residual(e, &flow)
@@ -101,6 +102,7 @@ pub fn edmonds_karp(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64]) -> MaxF
         // Apply.
         let mut cur = t;
         while cur != s {
+            // pcn-lint: allow(panic) — same augmenting path as the bottleneck pass above
             let (pu, e, forward) = pred[cur.index()].unwrap();
             if forward {
                 flow[e.index()] += bottleneck;

@@ -195,7 +195,7 @@ pub fn decompose_into_paths(
         let mut edges: Vec<EdgeId> = Vec::new();
         pos[s.index()] = 0;
         loop {
-            let u = *nodes.last().unwrap();
+            let u = *nodes.last().unwrap(); // pcn-lint: allow(panic) — the walk starts non-empty at s
             if u == t {
                 break;
             }
@@ -245,6 +245,7 @@ pub fn decompose_into_paths(
             .iter()
             .map(|e| flow[e.index()])
             .min()
+            // pcn-lint: allow(panic) — s != t, so the walk has at least one edge
             .expect("s != t, so the walk has at least one edge");
         for e in &edges {
             flow[e.index()] -= bottleneck;

@@ -66,7 +66,7 @@ impl Path {
     /// Last node (the receiver).
     #[inline]
     pub fn target(&self) -> NodeId {
-        *self.0.last().unwrap()
+        *self.0.last().unwrap() // pcn-lint: allow(panic) — Path construction rejects < 2 nodes
     }
 
     /// Number of hops (edges) on the path.

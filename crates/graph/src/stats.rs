@@ -37,7 +37,7 @@ pub fn degree_stats(g: &DiGraph) -> DegreeStats {
         min: degs[0],
         median: degs[degs.len() / 2],
         mean: total as f64 / degs.len() as f64,
-        max: *degs.last().unwrap(),
+        max: *degs.last().unwrap(), // pcn-lint: allow(panic) — non-emptiness asserted at function entry
         top1pct_share: if total == 0 {
             0.0
         } else {

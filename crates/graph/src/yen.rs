@@ -81,6 +81,7 @@ pub fn k_shortest_paths(
             // filtered out *now* — such a candidate is unusable and must
             // be discarded entirely, not kept with an understated weight.
             let root_weight = root.windows(2).try_fold(0u64, |acc, win| {
+                // pcn-lint: allow(panic) — the root prefix came from a previously found path
                 let e = g.edge(win[0], win[1]).expect("root edge must exist");
                 weight(e).map(|ew| acc.saturating_add(ew))
             });
@@ -107,7 +108,7 @@ pub fn k_shortest_paths(
                     .then_with(|| a.path.nodes().cmp(b.path.nodes()))
             })
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap(); // pcn-lint: allow(panic) — the loop guard ensures candidates is non-empty
         found.push(candidates.swap_remove(best));
     }
     found
@@ -171,7 +172,7 @@ pub fn k_shortest_paths_hops(g: &DiGraph, s: NodeId, t: NodeId, k: usize) -> Vec
                     .then_with(|| a.nodes().cmp(b.nodes()))
             })
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap(); // pcn-lint: allow(panic) — the loop guard ensures candidates is non-empty
         found.push(candidates.swap_remove(best));
     }
     found

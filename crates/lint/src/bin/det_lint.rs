@@ -1,27 +1,36 @@
-//! `det_lint` — run the workspace determinism audit from the CLI.
+//! `det_lint` — run the workspace determinism + hot-path audit from
+//! the CLI.
 //!
 //! ```text
 //! det_lint --workspace            # lint the whole workspace (CI entry point)
 //! det_lint path/to/file.rs …     # lint specific files
 //! det_lint --workspace --github  # also emit ::error annotations (auto on CI)
+//! det_lint --workspace --json    # JSONL audit (incl. justified sites) on stdout
 //! ```
 //!
-//! Exit code 0 = clean, 1 = findings, 2 = usage/IO error.
+//! With `--json`, stdout carries one JSON object per finding —
+//! including justified (annotated) sites, with their justification
+//! text — and the human-readable lines move to stderr, so
+//! `det_lint --json > audit.jsonl` produces a clean artifact.
+//!
+//! Exit code 0 = clean, 1 = unjustified findings, 2 = usage/IO error.
 
-use pcn_lint::{find_workspace_root, github_annotations, lint_workspace, policy_for, rules};
+use pcn_lint::{find_workspace_root, github_annotations, policy_for, rules, Finding};
 use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workspace = false;
     let mut github = std::env::var_os("GITHUB_ACTIONS").is_some();
+    let mut json = false;
     let mut files: Vec<String> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--workspace" => workspace = true,
             "--github" => github = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: det_lint [--workspace] [--github] [FILE.rs …]");
+                eprintln!("usage: det_lint [--workspace] [--github] [--json] [FILE.rs …]");
                 return;
             }
             other if other.starts_with('-') => {
@@ -41,10 +50,12 @@ fn main() {
         std::process::exit(2);
     };
 
-    let mut findings = Vec::new();
+    // The audit keeps justified findings; violations are the subset
+    // without a justification.
+    let mut audit: Vec<Finding> = Vec::new();
     if workspace {
-        match lint_workspace(&root) {
-            Ok(f) => findings.extend(f),
+        match pcn_lint::audit_workspace(&root) {
+            Ok(f) => audit.extend(f),
             Err(e) => {
                 eprintln!("det_lint: {e}");
                 std::process::exit(2);
@@ -61,33 +72,56 @@ fn main() {
             continue;
         };
         match std::fs::read_to_string(file) {
-            Ok(src) => findings.extend(rules::lint_source(&rel, &src, &policy)),
+            Ok(src) => audit.extend(rules::audit_source(&rel, &src, &policy)),
             Err(e) => {
                 eprintln!("det_lint: {file}: {e}");
                 std::process::exit(2);
             }
         }
     }
+    let findings: Vec<Finding> = audit
+        .iter()
+        .filter(|f| f.justification.is_none())
+        .cloned()
+        .collect();
 
+    if json {
+        print!("{}", pcn_lint::jsonl(&audit));
+    }
     for f in &findings {
-        println!(
+        let line = format!(
             "{}:{}: error[{}] {}",
             f.file,
             f.line,
             f.rule.name(),
             f.message
         );
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
     }
-    if github && !findings.is_empty() {
+    if github && !findings.is_empty() && !json {
         print!("{}", github_annotations(&findings));
     }
-    if findings.is_empty() {
-        let scope = if workspace { "workspace" } else { "files" };
-        println!(
-            "det-lint: {scope} clean (rules D1 wall-clock, D2 hash-order, D3 thread, D4 debug-format)"
-        );
+    let scope = if workspace { "workspace" } else { "files" };
+    let summary = if findings.is_empty() {
+        format!(
+            "lint-audit: {scope} clean (rules D1 wall-clock, D2 hash-order, D3 thread, \
+             D4 debug-format, P1 hot-alloc, P2 panic, P3 amount-math; \
+             {} justified suppression(s))",
+            audit.len() - findings.len()
+        )
     } else {
-        println!("det-lint: {} finding(s)", findings.len());
+        format!("lint-audit: {} finding(s)", findings.len())
+    };
+    if json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    if !findings.is_empty() {
         std::process::exit(1);
     }
 }

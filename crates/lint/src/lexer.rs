@@ -7,9 +7,10 @@
 //! lifetimes, and (nested) block comments must never leak tokens,
 //! otherwise a doc comment mentioning `Instant::now` would fail D1.
 //!
-//! The scanner also extracts `// det-lint: allow(<rule>) — <why>`
-//! suppression annotations from line comments, because that is the one
-//! place where comments carry lint-relevant content.
+//! The scanner also extracts `// det-lint: allow(<rule>) — <why>` and
+//! `// pcn-lint: allow(<rule>) — <why>` suppression annotations plus
+//! `// pcn-lint: hot` root markers from line comments, because those
+//! are the places where comments carry lint-relevant content.
 
 /// What kind of token this is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,20 +41,46 @@ pub struct Tok {
     pub kind: TokKind,
 }
 
-/// A parsed `// det-lint: allow(<rule>) — <justification>` annotation.
+/// Which annotation family a comment belongs to. The determinism rules
+/// (D1–D4) read `det-lint:` comments; the performance/panic-safety
+/// rules (P1–P3) read `pcn-lint:` comments. Keeping the namespaces
+/// separate means a `det-lint: allow(hash-order)` can never
+/// accidentally silence a hot-path allocation and vice versa.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnnNs {
+    /// `det-lint:` — determinism rules D1–D4.
+    Det,
+    /// `pcn-lint:` — hot-path/panic/amount rules P1–P3.
+    Pcn,
+}
+
+impl AnnNs {
+    /// The comment marker, without the trailing colon.
+    pub fn marker(self) -> &'static str {
+        match self {
+            AnnNs::Det => "det-lint",
+            AnnNs::Pcn => "pcn-lint",
+        }
+    }
+}
+
+/// A parsed `// det-lint: allow(<rule>) — <justification>` (or
+/// `pcn-lint:`) annotation.
 #[derive(Clone, Debug)]
 pub struct Annotation {
     /// Line the annotation comment sits on.
     pub line: u32,
+    /// Which marker introduced it (`det-lint:` vs `pcn-lint:`).
+    pub ns: AnnNs,
     /// The rule name inside `allow(…)`, e.g. `hash-order`.
     pub rule: String,
     /// The free-text justification after the dash separator.
     pub justification: String,
 }
 
-/// A malformed `det-lint:` comment: the text after `det-lint:` plus a
-/// reason. Always a lint error — a suppression that does not parse
-/// must not silently suppress nothing.
+/// A malformed `det-lint:` / `pcn-lint:` comment: the text after the
+/// marker plus a reason. Always a lint error — a suppression that does
+/// not parse must not silently suppress nothing.
 #[derive(Clone, Debug)]
 pub struct BadAnnotation {
     /// Line of the malformed annotation.
@@ -69,8 +96,11 @@ pub struct Lexed {
     pub toks: Vec<Tok>,
     /// Well-formed suppression annotations, in line order.
     pub annotations: Vec<Annotation>,
-    /// Malformed `det-lint:` comments.
+    /// Malformed `det-lint:` / `pcn-lint:` comments.
     pub bad_annotations: Vec<BadAnnotation>,
+    /// Lines carrying a `// pcn-lint: hot` root marker; the call-graph
+    /// pass attaches each to the function item that follows it.
+    pub hot_marks: Vec<u32>,
 }
 
 /// Multi-char operators that must lex as one token. Longest first.
@@ -333,21 +363,43 @@ fn scan_quote(src: &str, i: usize, line: u32, out: &mut Lexed) -> (usize, u32) {
     }
 }
 
-/// Parses `det-lint:` content out of one line comment, if present.
+/// Parses `det-lint:` / `pcn-lint:` content out of one line comment,
+/// if present.
 ///
 /// Only comments that *start* with the marker count (after stripping
 /// doc-comment `/`/`!` prefixes): prose that merely mentions the
 /// annotation syntax — like this very sentence — must not register.
 fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
     let trimmed = comment.trim_start_matches(['/', '!']).trim_start();
-    let Some(rest) = trimmed.strip_prefix("det-lint:") else {
-        return;
-    };
+    if let Some(rest) = trimmed.strip_prefix("det-lint:") {
+        scan_directive(AnnNs::Det, rest, line, out);
+    } else if let Some(rest) = trimmed.strip_prefix("pcn-lint:") {
+        scan_directive(AnnNs::Pcn, rest, line, out);
+    }
+}
+
+/// Parses the directive body after a `det-lint:` / `pcn-lint:` marker:
+/// `allow(<rule>) — <why>` for both namespaces, plus the bare `hot`
+/// root marker (optionally followed by prose) for `pcn-lint:`.
+fn scan_directive(ns: AnnNs, rest: &str, line: u32, out: &mut Lexed) {
     let rest = rest.trim();
+    let marker = ns.marker();
+    if ns == AnnNs::Pcn {
+        if let Some(tail) = rest.strip_prefix("hot") {
+            if tail.is_empty() || tail.starts_with([' ', '—', '-', ':']) {
+                out.hot_marks.push(line);
+                return;
+            }
+        }
+    }
     let Some(args) = rest.strip_prefix("allow") else {
+        let expected = match ns {
+            AnnNs::Det => "expected `allow(<rule>)`",
+            AnnNs::Pcn => "expected `allow(<rule>)` or `hot`",
+        };
         out.bad_annotations.push(BadAnnotation {
             line,
-            reason: format!("expected `allow(<rule>)` after `det-lint:`, found `{rest}`"),
+            reason: format!("{expected} after `{marker}:`, found `{rest}`"),
         });
         return;
     };
@@ -358,7 +410,7 @@ fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
     }) else {
         out.bad_annotations.push(BadAnnotation {
             line,
-            reason: "unclosed `allow(` in det-lint annotation".into(),
+            reason: format!("unclosed `allow(` in {marker} annotation"),
         });
         return;
     };
@@ -366,7 +418,7 @@ fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
     if rule.is_empty() {
         out.bad_annotations.push(BadAnnotation {
             line,
-            reason: "empty rule name in `det-lint: allow()`".into(),
+            reason: format!("empty rule name in `{marker}: allow()`"),
         });
         return;
     }
@@ -380,12 +432,13 @@ fn scan_annotation(comment: &str, line: u32, out: &mut Lexed) {
     if just.len() < 8 {
         out.bad_annotations.push(BadAnnotation {
             line,
-            reason: format!("`det-lint: allow({rule})` needs a written justification after `—`"),
+            reason: format!("`{marker}: allow({rule})` needs a written justification after `—`"),
         });
         return;
     }
     out.annotations.push(Annotation {
         line,
+        ns,
         rule,
         justification: just,
     });
@@ -460,6 +513,28 @@ mod tests {
         let l = lex("// det-lint: allow(hash-order)\n");
         assert!(l.annotations.is_empty());
         assert_eq!(l.bad_annotations.len(), 1);
+    }
+
+    #[test]
+    fn pcn_annotations_carry_their_namespace() {
+        let l = lex("x.clone() // pcn-lint: allow(hot-alloc) — one Vec per run, not per event\n");
+        assert_eq!(l.annotations.len(), 1);
+        assert_eq!(l.annotations[0].ns, AnnNs::Pcn);
+        assert_eq!(l.annotations[0].rule, "hot-alloc");
+        let d = lex("// det-lint: allow(hash-order) — sum fold, order-insensitive\n");
+        assert_eq!(d.annotations[0].ns, AnnNs::Det);
+    }
+
+    #[test]
+    fn hot_marks_are_collected_with_optional_prose() {
+        let l = lex("// pcn-lint: hot\nfn a() {}\n// pcn-lint: hot — DES event loop\nfn b() {}\n");
+        assert_eq!(l.hot_marks, vec![1, 3]);
+        assert!(l.bad_annotations.is_empty());
+        // `hotel`-style prefixes and malformed pcn directives are bad,
+        // not silently ignored.
+        let bad = lex("// pcn-lint: hotel\n// pcn-lint: deny(x)\n");
+        assert!(bad.hot_marks.is_empty());
+        assert_eq!(bad.bad_annotations.len(), 2);
     }
 
     #[test]

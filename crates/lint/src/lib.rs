@@ -21,27 +21,37 @@
 //!
 //! [`lint_workspace`] lexes every `.rs` file (a hand-rolled scanner in
 //! [`lexer`]; the build environment has no registry access, so no
-//! syn/proc-macro) and applies the D1–D4 rules in [`rules`] with a
-//! per-crate [`Policy`]:
+//! syn/proc-macro), builds a conservative per-crate call graph
+//! ([`callgraph`]), and applies the D1–D4 determinism rules and the
+//! P1–P3 hot-path rules in [`rules`] with a per-crate [`Policy`]:
 //!
-//! | crates | D1 wall-clock | D2 hash-order | D3 thread | D4 debug-format |
-//! |---|---|---|---|---|
-//! | `pcn-types`, `pcn-graph`, `pcn-lp`, `flash-core`, `pcn-workload` | forbid | ✓ | – | ✓ |
-//! | `pcn-sim` | forbid | ✓ | ✓ | ✓ |
-//! | `pcn-proto`, `pcn-experiments`, `flash-bench`, umbrella | helper only | – | – | – |
-//! | `shims/`, fixtures | skipped | | | |
+//! | crates | D1 wall-clock | D2 hash-order | D3 thread | D4 debug-format | P1–P3 |
+//! |---|---|---|---|---|---|
+//! | `pcn-types`, `pcn-graph`, `pcn-lp`, `flash-core`, `pcn-workload` | forbid | ✓ | – | ✓ | ✓ (src only) |
+//! | `pcn-sim` | forbid | ✓ | ✓ | ✓ | ✓ (src only) |
+//! | `pcn-proto`, `pcn-experiments`, `flash-bench`, umbrella | helper only | – | – | – | – |
+//! | `shims/`, fixtures | skipped | | | | |
+//!
+//! "src only": the deterministic crates' integration tests, benches,
+//! and examples are exempt from P1–P3 (assertions and setup
+//! allocations are the point there), as is `#[cfg(test)]` code inside
+//! src files. `crates/types/src/amount.rs` is exempt from P3 — it
+//! *defines* the raw operators the saturating/checked helpers wrap.
 //!
 //! "Helper only" means wall time flows through exactly one entry
 //! point — `pcn_proto::wall_now()` (defined in the allowlisted
 //! `crates/proto/src/wall.rs`) — and must land in `wall_*`-prefixed
 //! bindings.
 //!
-//! Violations that are provably order-insensitive carry a written
-//! justification: `// det-lint: allow(hash-order) — <why>`.
+//! Violations that are provably exempt carry a written justification:
+//! `// det-lint: allow(hash-order) — <why>` for D rules,
+//! `// pcn-lint: allow(hot-alloc|panic|amount-math) — <why>` for P
+//! rules. [`audit_workspace`] keeps the justified findings (for the
+//! `--json` report); [`lint_workspace`] returns violations only.
 //!
 //! Run it locally with `cargo run -p pcn-lint --bin det_lint -- --workspace`;
 //! CI runs the same command and surfaces findings as inline
-//! `::error file=…,line=…` PR annotations.
+//! `::error file=…,line=…` PR annotations plus a JSONL artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +59,7 @@
 // never ad-hoc stdout; the `det_lint` binary prints, the library does not.
 #![deny(clippy::dbg_macro, clippy::print_stdout)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 
@@ -92,11 +103,28 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
             hash_order: false,
             threads: false,
             debug_format: false,
+            hot_alloc: false,
+            panics: false,
+            amount_math: false,
         });
     }
     for krate in DETERMINISTIC_CRATES {
         if rel.starts_with(&format!("{krate}/")) {
-            return Some(Policy::deterministic(*krate == "crates/sim"));
+            let mut p = Policy::deterministic(*krate == "crates/sim");
+            // P1–P3 audit library code only: integration tests,
+            // benches, and examples assert and allocate freely and are
+            // never on the engine's hot path.
+            if rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/") {
+                p.hot_alloc = false;
+                p.panics = false;
+                p.amount_math = false;
+            }
+            // The Amount implementation defines the raw operators that
+            // the saturating/checked helpers wrap.
+            if rel == "crates/types/src/amount.rs" {
+                p.amount_math = false;
+            }
+            return Some(p);
         }
     }
     // Everything else — proto, experiments, bench, the lint itself,
@@ -138,10 +166,11 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lints every in-scope source file under the workspace `root`.
-/// Findings come back sorted by (file, line) — deterministically, as
-/// one would hope for a determinism linter.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Audits every in-scope source file under the workspace `root`,
+/// keeping justified findings (`justification: Some(…)`) alongside
+/// violations. Findings come back sorted by (file, line) —
+/// deterministically, as one would hope for a determinism linter.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files);
 
@@ -172,17 +201,76 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             });
     }
 
-    // Pass 2: per-crate hash-name sets, then lint each file.
+    // Pass 2: per-crate taint sets and call graph, then audit each
+    // file. Hot reachability is intra-crate by construction (see the
+    // `callgraph` module docs on cross-crate false negatives).
     let mut findings = Vec::new();
     for entries in by_crate.values() {
         let streams: Vec<&lexer::Lexed> = entries.iter().map(|e| &e.lexed).collect();
-        let names = rules::collect_hash_names(&streams);
-        for e in entries {
-            findings.extend(rules::lint_tokens(&e.rel, &e.lexed, &e.policy, &names));
+        let hash_names = rules::collect_hash_names(&streams);
+        let amount_names = rules::collect_amount_names(&streams);
+        let analyses = callgraph::analyze(&streams);
+        for (e, analysis) in entries.iter().zip(&analyses) {
+            let ctx = rules::CrateCtx {
+                hash_names: &hash_names,
+                amount_names: &amount_names,
+                analysis,
+            };
+            findings.extend(rules::audit_tokens(&e.rel, &e.lexed, &e.policy, &ctx));
         }
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
+}
+
+/// Lints every in-scope source file under the workspace `root`:
+/// [`audit_workspace`] filtered down to the actual violations.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(audit_workspace(root)?
+        .into_iter()
+        .filter(|f| f.justification.is_none())
+        .collect())
+}
+
+/// Serializes audit findings as JSONL (one object per line:
+/// `file`, `line`, `rule`, `justified`, `justification`, `message`) —
+/// the machine-readable artifact CI uploads next to the `::error`
+/// annotations. Hand-rolled emission: the lint crate stays
+/// zero-dependency.
+pub fn jsonl(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    for f in findings {
+        let justification = match &f.justification {
+            Some(j) => format!("\"{}\"", esc(j)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"justified\":{},\
+             \"justification\":{},\"message\":\"{}\"}}\n",
+            esc(&f.file),
+            f.line,
+            f.rule.name(),
+            f.justification.is_some(),
+            justification,
+            esc(&f.message),
+        ));
+    }
+    out
 }
 
 /// Formats findings as GitHub Actions workflow commands, one per line
@@ -235,6 +323,22 @@ mod tests {
     fn policies_match_the_crate_map() {
         assert!(policy_for("crates/sim/src/des/engine.rs").unwrap().threads);
         assert!(
+            policy_for("crates/sim/src/des/engine.rs")
+                .unwrap()
+                .hot_alloc
+        );
+        assert!(policy_for("crates/sim/src/des/engine.rs").unwrap().panics);
+        // Integration tests / benches of deterministic crates keep the
+        // D rules but drop the P rules.
+        let t = policy_for("crates/sim/tests/des.rs").unwrap();
+        assert!(t.hash_order && !t.panics && !t.hot_alloc && !t.amount_math);
+        let b = policy_for("crates/graph/benches/maxflow.rs").unwrap();
+        assert!(!b.panics && !b.hot_alloc);
+        // The Amount implementation is exempt from P3 only.
+        let a = policy_for("crates/types/src/amount.rs").unwrap();
+        assert!(a.panics && a.hot_alloc && !a.amount_math);
+        assert!(!policy_for("crates/proto/src/cluster.rs").unwrap().panics);
+        assert!(
             !policy_for("crates/graph/src/generators.rs")
                 .unwrap()
                 .threads
@@ -269,11 +373,43 @@ mod tests {
             file: "crates/sim/src/x.rs".into(),
             line: 7,
             message: "100% bad\nnewline".into(),
+            justification: None,
         }];
         let s = github_annotations(&f);
         assert_eq!(
             s,
             "::error file=crates/sim/src/x.rs,line=7,title=det-lint hash-order::100%25 bad%0Anewline\n"
         );
+    }
+
+    #[test]
+    fn jsonl_escapes_and_reports_justification_status() {
+        let f = vec![
+            Finding {
+                rule: Rule::HotAlloc,
+                file: "crates/sim/src/x.rs".into(),
+                line: 3,
+                message: "a \"quoted\"\tthing".into(),
+                justification: None,
+            },
+            Finding {
+                rule: Rule::NoPanic,
+                file: "crates/graph/src/y.rs".into(),
+                line: 9,
+                message: "m".into(),
+                justification: Some("invariant: tables sized from the graph".into()),
+            },
+        ];
+        let s = jsonl(&f);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"file\":\"crates/sim/src/x.rs\",\"line\":3,\"rule\":\"hot-alloc\",\
+             \"justified\":false,\"justification\":null,\
+             \"message\":\"a \\\"quoted\\\"\\tthing\"}"
+        );
+        assert!(lines[1].contains("\"justified\":true"));
+        assert!(lines[1].contains("\"rule\":\"panic\""));
     }
 }

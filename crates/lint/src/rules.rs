@@ -1,4 +1,5 @@
-//! The determinism rules (D1–D4) over the token stream.
+//! The determinism rules (D1–D4) and hot-path rules (P1–P3) over the
+//! token stream.
 //!
 //! Every correctness claim in this reproduction — same-seed
 //! bit-identical `DesReport`s, the zero-latency DES ≡ instantaneous
@@ -24,12 +25,40 @@
 //!   into strings/reports: `Debug` on a hash map leaks iteration
 //!   order into output.
 //!
+//! The P rules ride the conservative call graph in
+//! [`crate::callgraph`] (P1) and the same per-crate taint machinery as
+//! D2 (P3):
+//!
+//! * **P1 `hot-alloc`** — functions reachable from a
+//!   `// pcn-lint: hot` root must not allocate per event:
+//!   `Vec::new`/`with_capacity`, `.collect()`, `.clone()`,
+//!   `format!`/`vec!`, `String` ops, `Box::new`, `HashMap::new` … are
+//!   errors unless carrying a justified
+//!   `// pcn-lint: allow(hot-alloc) — <why>` (typically: the
+//!   allocation is per-run, not per-event).
+//! * **P2 `panic`** — no `.unwrap()` / `.expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test code of
+//!   the deterministic library crates: a panic aborts a million-payment
+//!   run hours in. Each site becomes error propagation, a
+//!   `debug_assert!`, or an invariant-carrying
+//!   `// pcn-lint: allow(panic) — <why>`. `assert!` family macros stay
+//!   legal: they *state* invariants rather than hide them.
+//! * **P3 `amount-math`** — raw binary `+`/`-`/`*` with an
+//!   `Amount`-tainted operand must go through the
+//!   saturating/checked helpers on `Amount`. Compound assignment
+//!   (`+=`) and index/`.micros()` chains are documented false
+//!   negatives; the taint refinement (latest declaration wins) keeps
+//!   same-named `u64` locals out.
+//!
 //! Detection is deliberately *over*-approximate (an identifier that is
 //! hash-typed anywhere in the crate taints every same-named
-//! identifier): a false positive costs one justified annotation, while
-//! a false negative costs a flaky differential test three PRs later.
+//! identifier; a method call reaches every same-named method): a false
+//! positive costs one justified annotation, while a false negative
+//! costs a flaky differential test — or an aborted overnight run —
+//! three PRs later.
 
-use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::callgraph::FileAnalysis;
+use crate::lexer::{lex, AnnNs, Lexed, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// Which rule produced a finding.
@@ -43,24 +72,44 @@ pub enum Rule {
     Thread,
     /// D4: `{:?}` of a hash collection into output.
     DebugFormat,
-    /// Malformed or unjustified `det-lint:` annotation.
+    /// P1: allocation in a hot-reachable function.
+    HotAlloc,
+    /// P2: panic path in non-test library code.
+    NoPanic,
+    /// P3: raw arithmetic on `Amount`-tainted bindings.
+    AmountMath,
+    /// Malformed or unjustified `det-lint:` / `pcn-lint:` annotation.
     Annotation,
 }
 
 impl Rule {
-    /// The rule name as written inside `det-lint: allow(…)`.
+    /// The rule name as written inside `…-lint: allow(…)`.
     pub fn name(self) -> &'static str {
         match self {
             Rule::WallClock => "wall-clock",
             Rule::HashOrder => "hash-order",
             Rule::Thread => "thread",
             Rule::DebugFormat => "debug-format",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::NoPanic => "panic",
+            Rule::AmountMath => "amount-math",
             Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Which annotation namespace suppresses this rule.
+    pub fn namespace(self) -> AnnNs {
+        match self {
+            Rule::HotAlloc | Rule::NoPanic | Rule::AmountMath => AnnNs::Pcn,
+            _ => AnnNs::Det,
         }
     }
 }
 
-/// One lint violation.
+/// One lint finding. A finding with a `justification` was matched by a
+/// well-formed `allow(…)` annotation: it is not a violation, but the
+/// audit keeps it so `--json` can report the justified suppressions
+/// alongside the failures.
 #[derive(Clone, Debug)]
 pub struct Finding {
     /// Rule that fired.
@@ -71,6 +120,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description with the suggested fix.
     pub message: String,
+    /// The annotation's justification text, when the site carries one.
+    /// `None` means the finding is an unjustified violation.
+    pub justification: Option<String>,
 }
 
 /// How rule D1 applies to a file.
@@ -98,6 +150,13 @@ pub struct Policy {
     pub threads: bool,
     /// Whether D4 applies (deterministic crates).
     pub debug_format: bool,
+    /// Whether P1 applies (deterministic crates' library code).
+    pub hot_alloc: bool,
+    /// Whether P2 applies (deterministic crates' library code).
+    pub panics: bool,
+    /// Whether P3 applies (deterministic crates' library code, minus
+    /// the `Amount` implementation itself).
+    pub amount_math: bool,
 }
 
 impl Policy {
@@ -108,6 +167,9 @@ impl Policy {
             hash_order: true,
             threads: is_sim,
             debug_format: true,
+            hot_alloc: true,
+            panics: true,
+            amount_math: true,
         }
     }
 
@@ -118,6 +180,9 @@ impl Policy {
             hash_order: false,
             threads: false,
             debug_format: false,
+            hot_alloc: false,
+            panics: false,
+            amount_math: false,
         }
     }
 }
@@ -161,6 +226,54 @@ const SYNC_IDENTS: &[&str] = &[
     "parking_lot",
 ];
 
+/// Heap-owning types whose constructors P1 flags in hot code.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Rc",
+    "Arc",
+];
+
+/// Constructor names that allocate on the listed types (`Type::new`,
+/// `Type::with_capacity`, `Type::from`).
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Method calls that allocate a fresh heap object. `.push` /
+/// `.insert` / `.extend` on a *pre-sized* buffer are deliberately NOT
+/// listed: amortized growth of a reused buffer is the pattern P1
+/// pushes code toward.
+const ALLOC_METHODS: &[&str] = &[
+    "collect",
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "push_str",
+];
+
+/// Macros that allocate (`format!` builds a String, `vec!` a Vec).
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Unconditional panic macros (P2). The `assert!` family is excluded:
+/// stated invariants are the *alternative* to hidden unwraps, and
+/// `debug_assert!` is one of P2's suggested fixes.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers that can precede a binary `-`/`*` without being an
+/// operand (`return x`, `&mut x`, `match x`…): these make the
+/// operator unary/deref, not Amount arithmetic (P3).
+const NON_OPERAND_KEYWORDS: &[&str] = &[
+    "return", "in", "as", "mut", "if", "while", "match", "else", "move", "break", "continue",
+    "let", "yield",
+];
+
 /// Collects identifiers that are hash-typed somewhere in the given
 /// token streams: `name: …HashMap<…>` (let/field/param type
 /// annotations) and `let name = HashMap::new()`-style initializations.
@@ -169,11 +282,25 @@ const SYNC_IDENTS: &[&str] = &[
 /// declared `capacities: HashMap<…>` in one file taints
 /// `plan.capacities` iteration in every other file of that crate.
 pub fn collect_hash_names(streams: &[&Lexed]) -> BTreeSet<String> {
+    collect_typed_names(streams, &|t| t == "HashMap" || t == "HashSet")
+}
+
+/// Collects identifiers that are `Amount`-typed somewhere in the given
+/// token streams, for rule P3 — same crate-wide taint mechanics as
+/// [`collect_hash_names`].
+pub fn collect_amount_names(streams: &[&Lexed]) -> BTreeSet<String> {
+    collect_typed_names(streams, &|t| t == "Amount")
+}
+
+/// The shared walk behind [`collect_hash_names`] /
+/// [`collect_amount_names`]: `is_type` decides which type identifiers
+/// taint a binding.
+fn collect_typed_names(streams: &[&Lexed], is_type: &dyn Fn(&str) -> bool) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for lexed in streams {
         let toks = &lexed.toks;
         for (i, t) in toks.iter().enumerate() {
-            if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            if t.kind != TokKind::Ident || !is_type(&t.text) {
                 continue;
             }
             // Walk left over the path prefix (`std :: collections ::`).
@@ -227,17 +354,26 @@ pub struct Decl {
     /// Token index of the declared name.
     pos: usize,
     is_hash: bool,
+    is_amount: bool,
 }
 
 /// Collects per-file declarations. `taint` is the crate-wide hash-name
-/// set: an untyped initializer mentioning a tainted name (e.g.
-/// `let merged = caps.clone()`) propagates hash-ness.
-pub fn collect_decls(lexed: &Lexed, taint: &BTreeSet<String>) -> Vec<Decl> {
+/// set and `amount_taint` the crate-wide Amount-name set: an untyped
+/// initializer mentioning a tainted name (e.g. `let merged =
+/// caps.clone()`) propagates taint.
+pub fn collect_decls(
+    lexed: &Lexed,
+    taint: &BTreeSet<String>,
+    amount_taint: &BTreeSet<String>,
+) -> Vec<Decl> {
     let toks = &lexed.toks;
     let mut out = Vec::new();
     let hashy = |t: &Tok| {
         t.kind == TokKind::Ident
             && (t.text == "HashMap" || t.text == "HashSet" || taint.contains(&t.text))
+    };
+    let amounty = |t: &Tok| {
+        t.kind == TokKind::Ident && (t.text == "Amount" || amount_taint.contains(&t.text))
     };
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -248,6 +384,7 @@ pub fn collect_decls(lexed: &Lexed, taint: &BTreeSet<String>) -> Vec<Decl> {
             let mut depth = 0i32;
             let mut j = i + 2;
             let mut is_hash = false;
+            let mut is_amount = false;
             while j < toks.len() && j < i + 60 {
                 let p = &toks[j];
                 match p.text.as_str() {
@@ -262,12 +399,14 @@ pub fn collect_decls(lexed: &Lexed, taint: &BTreeSet<String>) -> Vec<Decl> {
                     _ => {}
                 }
                 is_hash |= hashy(p);
+                is_amount |= amounty(p);
                 j += 1;
             }
             out.push(Decl {
                 name: t.text.clone(),
                 pos: i,
                 is_hash,
+                is_amount,
             });
         }
         // Untyped `let (mut)? name = expr ;` (typed lets hit the arm above).
@@ -297,10 +436,18 @@ pub fn collect_decls(lexed: &Lexed, taint: &BTreeSet<String>) -> Vec<Decl> {
             let literal_hash = expr
                 .iter()
                 .any(|p| p.kind == TokKind::Ident && (p.text == "HashMap" || p.text == "HashSet"));
+            // `let x = Amount::…` / `let x = amount` / `let x =
+            // amount.clone()` propagate Amount-ness; `let n =
+            // amount.micros()` (a u64) must not, so the same strict
+            // alias shapes apply, plus a direct `Amount::ctor(…)` head.
+            let literal_amount = expr
+                .first()
+                .is_some_and(|p| p.kind == TokKind::Ident && p.text == "Amount");
             out.push(Decl {
                 name: name.text.clone(),
                 pos: m,
                 is_hash: literal_hash || is_tainted_alias(&expr, taint),
+                is_amount: literal_amount || is_tainted_alias(&expr, amount_taint),
             });
         }
     }
@@ -331,6 +478,16 @@ fn resolve_hash(name: &str, site: usize, decls: &[Decl], taint: &BTreeSet<String
         .iter()
         .rfind(|d| d.name == name && d.pos < site)
         .map_or_else(|| taint.contains(name), |d| d.is_hash)
+}
+
+/// Is the identifier `name` `Amount`-typed at token position `site`?
+/// Same "latest declaration before the site wins, else crate-wide
+/// taint" resolution as [`resolve_hash`].
+fn resolve_amount(name: &str, site: usize, decls: &[Decl], taint: &BTreeSet<String>) -> bool {
+    decls
+        .iter()
+        .rfind(|d| d.name == name && d.pos < site)
+        .map_or_else(|| taint.contains(name), |d| d.is_amount)
 }
 
 /// For `= HashMap…` at `eq`, returns the binding name to the left of
@@ -415,16 +572,29 @@ fn feeds_immediate_sort(toks: &[Tok], pos: usize) -> bool {
     false
 }
 
-/// Lints one lexed file under `policy`. `hash_names` is the crate-wide
-/// hash-typed identifier set (from [`collect_hash_names`]).
-pub fn lint_tokens(
-    file: &str,
-    lexed: &Lexed,
-    policy: &Policy,
-    hash_names: &BTreeSet<String>,
-) -> Vec<Finding> {
+/// Per-crate context shared by every file audit: the crate-wide taint
+/// sets (D2 / P3) and this file's call-graph analysis (P1, test
+/// spans).
+pub struct CrateCtx<'a> {
+    /// Crate-wide hash-typed identifiers, from [`collect_hash_names`].
+    pub hash_names: &'a BTreeSet<String>,
+    /// Crate-wide `Amount`-typed identifiers, from
+    /// [`collect_amount_names`].
+    pub amount_names: &'a BTreeSet<String>,
+    /// This file's hot spans / test spans, from
+    /// [`crate::callgraph::analyze`].
+    pub analysis: &'a FileAnalysis,
+}
+
+/// Audits one lexed file under `policy`: like [`lint_tokens`] but the
+/// result also keeps findings whose site carries a justified
+/// annotation (`justification: Some(…)`), so `--json` can report the
+/// suppressions.
+pub fn audit_tokens(file: &str, lexed: &Lexed, policy: &Policy, ctx: &CrateCtx) -> Vec<Finding> {
     let toks = &lexed.toks;
-    let decls = collect_decls(lexed, hash_names);
+    let hash_names = ctx.hash_names;
+    let analysis = ctx.analysis;
+    let decls = collect_decls(lexed, hash_names, ctx.amount_names);
     let mut raw: Vec<Finding> = Vec::new();
 
     // --- D1: wall clock -------------------------------------------------
@@ -467,6 +637,7 @@ pub fn lint_tokens(
                     file: file.into(),
                     line: t.line,
                     message: msg,
+                    justification: None,
                 });
             }
             // Helper call sites must bind into `wall_*` names so wall
@@ -482,6 +653,7 @@ pub fn lint_tokens(
                                 "[D1 wall-clock] `wall_now()` result bound to `{name}`: \
                                  wall-time bindings must be `wall_*`-prefixed"
                             ),
+                            justification: None,
                         });
                     }
                 }
@@ -512,6 +684,7 @@ pub fn lint_tokens(
                                  `// det-lint: allow(hash-order) — <why order cannot matter>`",
                                 t.text
                             ),
+                            justification: None,
                         });
                     }
                 }
@@ -560,6 +733,7 @@ pub fn lint_tokens(
                                      or annotate `// det-lint: allow(hash-order) — <why>`",
                                     e.text
                                 ),
+                                justification: None,
                             });
                             break;
                         }
@@ -596,6 +770,7 @@ pub fn lint_tokens(
                          engine lands with deterministic merge rules",
                         t.text
                     ),
+                    justification: None,
                 });
             }
         }
@@ -658,21 +833,153 @@ pub fn lint_tokens(
                          or emit a stable serialization",
                         t.text
                     ),
+                    justification: None,
                 });
             }
         }
     }
 
-    // --- Annotations: suppress findings, flag bad ones ------------------
-    let mut out: Vec<Finding> = Vec::new();
-    for f in raw {
-        let suppressed = lexed
-            .annotations
-            .iter()
-            .any(|a| a.rule == f.rule.name() && (a.line == f.line || a.line + 1 == f.line));
-        if !suppressed {
-            out.push(f);
+    // --- P1: allocation in hot-reachable functions ----------------------
+    if policy.hot_alloc {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || analysis.in_test(i) {
+                continue;
+            }
+            let Some(hot) = analysis.hot_fn(i) else {
+                continue;
+            };
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let construct = if ALLOC_TYPES.contains(&t.text.as_str())
+                && next == Some("::")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|c| ALLOC_CTORS.contains(&c.text.as_str()))
+            {
+                Some(format!("{}::{}", t.text, toks[i + 2].text))
+            } else if ALLOC_MACROS.contains(&t.text.as_str()) && next == Some("!") {
+                Some(format!("{}!", t.text))
+            } else if ALLOC_METHODS.contains(&t.text.as_str())
+                && next == Some("(")
+                && i >= 1
+                && toks[i - 1].text == "."
+            {
+                Some(format!(".{}()", t.text))
+            } else {
+                None
+            };
+            if let Some(c) = construct {
+                raw.push(Finding {
+                    rule: Rule::HotAlloc,
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "[P1 hot-alloc] `{c}` in `{}`, reachable from a `// pcn-lint: hot` \
+                         root: preallocate / reuse a scratch buffer, or annotate \
+                         `// pcn-lint: allow(hot-alloc) — <why this is per-run, not per-event>`",
+                        hot.name
+                    ),
+                    justification: None,
+                });
+            }
         }
+    }
+
+    // --- P2: panic paths in non-test library code ------------------------
+    if policy.panics {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || analysis.in_test(i) {
+                continue;
+            }
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            let site = if (t.text == "unwrap" || t.text == "expect")
+                && next == Some("(")
+                && i >= 1
+                && toks[i - 1].text == "."
+            {
+                Some(format!(".{}()", t.text))
+            } else if PANIC_MACROS.contains(&t.text.as_str()) && next == Some("!") {
+                Some(format!("{}!", t.text))
+            } else {
+                None
+            };
+            if let Some(s) = site {
+                raw.push(Finding {
+                    rule: Rule::NoPanic,
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "[P2 panic] `{s}` in non-test library code would abort a \
+                         million-payment run: propagate the error, downgrade to \
+                         `debug_assert!`, or annotate \
+                         `// pcn-lint: allow(panic) — <the invariant making this unreachable>`"
+                    ),
+                    justification: None,
+                });
+            }
+        }
+    }
+
+    // --- P3: raw arithmetic on Amount-tainted bindings -------------------
+    if policy.amount_math {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Punct
+                || !matches!(t.text.as_str(), "+" | "-" | "*")
+                || analysis.in_test(i)
+                || i == 0
+            {
+                continue;
+            }
+            let Some(next) = toks.get(i + 1) else {
+                continue;
+            };
+            let prev = &toks[i - 1];
+            // Binary-operator position only: an operand on both sides.
+            // (`+=` etc. lex as single tokens and are not matched —
+            // a documented false negative; unary `-`/`*`/`&` have a
+            // non-operand on the left.)
+            let prev_is_operand = (prev.kind == TokKind::Ident
+                && !NON_OPERAND_KEYWORDS.contains(&prev.text.as_str()))
+                || prev.kind == TokKind::Num
+                || prev.text == ")"
+                || prev.text == "]";
+            let next_is_operand = next.kind == TokKind::Ident || next.kind == TokKind::Num;
+            if !prev_is_operand || !next_is_operand {
+                continue;
+            }
+            let tainted = [prev, next].into_iter().find(|o| {
+                o.kind == TokKind::Ident
+                    && (o.text == "Amount" || resolve_amount(&o.text, i, &decls, ctx.amount_names))
+            });
+            if let Some(op) = tainted {
+                raw.push(Finding {
+                    rule: Rule::AmountMath,
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "[P3 amount-math] raw `{}` with Amount-typed `{}`: balances use \
+                         `saturating_add`/`saturating_sub`/`checked_*` helpers so overflow \
+                         can never panic or wrap mid-settlement — or annotate \
+                         `// pcn-lint: allow(amount-math) — <why overflow is impossible>`",
+                        t.text, op.text
+                    ),
+                    justification: None,
+                });
+            }
+        }
+    }
+
+    // --- Annotations: attach justifications, flag bad ones ---------------
+    let mut out: Vec<Finding> = Vec::new();
+    for mut f in raw {
+        let matched = lexed.annotations.iter().find(|a| {
+            a.ns == f.rule.namespace()
+                && a.rule == f.rule.name()
+                && (a.line == f.line || a.line + 1 == f.line)
+        });
+        if let Some(a) = matched {
+            f.justification = Some(a.justification.clone());
+        }
+        out.push(f);
     }
     for bad in &lexed.bad_annotations {
         out.push(Finding {
@@ -680,29 +987,59 @@ pub fn lint_tokens(
             file: file.into(),
             line: bad.line,
             message: format!("[annotation] {}", bad.reason),
+            justification: None,
         });
     }
     for a in &lexed.annotations {
-        if !matches!(
-            a.rule.as_str(),
-            "wall-clock" | "hash-order" | "thread" | "debug-format"
-        ) {
+        let known = match a.ns {
+            AnnNs::Det => matches!(
+                a.rule.as_str(),
+                "wall-clock" | "hash-order" | "thread" | "debug-format"
+            ),
+            AnnNs::Pcn => matches!(a.rule.as_str(), "hot-alloc" | "panic" | "amount-math"),
+        };
+        if !known {
+            let expected = match a.ns {
+                AnnNs::Det => "wall-clock, hash-order, thread, or debug-format",
+                AnnNs::Pcn => "hot-alloc, panic, or amount-math",
+            };
             out.push(Finding {
                 rule: Rule::Annotation,
                 file: file.into(),
                 line: a.line,
                 message: format!(
-                    "[annotation] unknown rule `{}` in det-lint allow (expected wall-clock, \
-                     hash-order, thread, or debug-format)",
-                    a.rule
+                    "[annotation] unknown rule `{}` in {} allow (expected {expected})",
+                    a.rule,
+                    a.ns.marker()
                 ),
+                justification: None,
             });
         }
+    }
+    for &mark in &analysis.unmatched_hot_marks {
+        out.push(Finding {
+            rule: Rule::Annotation,
+            file: file.into(),
+            line: mark,
+            message: "[annotation] `pcn-lint: hot` mark does not precede a function item \
+                      (it must sit directly above — or trail — the `fn` it roots)"
+                .into(),
+            justification: None,
+        });
     }
 
     out.sort_by_key(|a| (a.line, a.rule));
     out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     out
+}
+
+/// Lints one lexed file under `policy`: [`audit_tokens`] filtered down
+/// to the actual violations (justified findings dropped).
+pub fn lint_tokens(file: &str, lexed: &Lexed, policy: &Policy, ctx: &CrateCtx) -> Vec<Finding> {
+    audit_tokens(file, lexed, policy, ctx)
+        .into_iter()
+        .filter(|f| f.justification.is_none())
+        .collect()
 }
 
 /// For a call token at `pos` (e.g. `wall_now`), finds the binding the
@@ -756,12 +1093,33 @@ fn debug_specs(fmt: &str) -> Vec<String> {
     out
 }
 
-/// Convenience for fixtures and tests: lexes `src` and lints it as a
-/// standalone file (hash names collected from the file itself).
-pub fn lint_source(file: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+/// Convenience for fixtures and tests: lexes `src` and audits it as a
+/// standalone file (taint sets and call graph from the file itself),
+/// keeping justified findings.
+pub fn audit_source(file: &str, src: &str, policy: &Policy) -> Vec<Finding> {
     let lexed = lex(src);
-    let names = collect_hash_names(&[&lexed]);
-    lint_tokens(file, &lexed, policy, &names)
+    let hash_names = collect_hash_names(&[&lexed]);
+    let amount_names = collect_amount_names(&[&lexed]);
+    let analysis = crate::callgraph::analyze_file(&lexed);
+    audit_tokens(
+        file,
+        &lexed,
+        policy,
+        &CrateCtx {
+            hash_names: &hash_names,
+            amount_names: &amount_names,
+            analysis: &analysis,
+        },
+    )
+}
+
+/// Convenience for fixtures and tests: lexes `src` and lints it as a
+/// standalone file, returning violations only.
+pub fn lint_source(file: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    audit_source(file, src, policy)
+        .into_iter()
+        .filter(|f| f.justification.is_none())
+        .collect()
 }
 
 #[cfg(test)]
@@ -839,7 +1197,18 @@ mod tests {
         let l1 = lex("struct S { caps: HashMap<u32, u64> }");
         let l2 = lex("fn f(s: &S) { for (k, v) in &s.caps { use_it(k, v); } }");
         let names = collect_hash_names(&[&l1, &l2]);
-        let f = lint_tokens("y.rs", &l2, &det(), &names);
+        let amounts = collect_amount_names(&[&l1, &l2]);
+        let analyses = crate::callgraph::analyze(&[&l1, &l2]);
+        let f = lint_tokens(
+            "y.rs",
+            &l2,
+            &det(),
+            &CrateCtx {
+                hash_names: &names,
+                amount_names: &amounts,
+                analysis: &analyses[1],
+            },
+        );
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, Rule::HashOrder);
     }
@@ -869,6 +1238,115 @@ mod tests {
         let src = "fn f() { std::thread::spawn(|| {}); let m = std::sync::Mutex::new(0); }";
         assert!(!lint_source("x.rs", src, &Policy::deterministic(true)).is_empty());
         assert!(lint_source("x.rs", src, &det()).is_empty());
+    }
+
+    #[test]
+    fn p1_flags_allocations_only_in_hot_reachable_code() {
+        let src = "\
+// pcn-lint: hot
+fn run(q: &mut Q) { q.step(); }
+impl Q {
+    fn step(&mut self) { let v: Vec<u32> = (0..4).collect(); self.scratch = v; }
+}
+fn cold() -> Vec<u32> { Vec::new() }
+";
+        let f = lint_source("x.rs", src, &det());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotAlloc);
+        assert_eq!(f[0].line, 4, "points at the collect inside Q::step");
+        assert!(f[0].message.contains("Q::step"));
+    }
+
+    #[test]
+    fn p1_justified_allow_is_kept_by_audit_dropped_by_lint() {
+        let src = "\
+// pcn-lint: hot
+fn run() {
+    // pcn-lint: allow(hot-alloc) — one order Vec per run, not per event
+    let order: Vec<usize> = (0..9).collect();
+    let _ = order;
+}
+";
+        assert!(lint_source("x.rs", src, &det()).is_empty());
+        let audit = audit_source("x.rs", src, &det());
+        assert_eq!(audit.len(), 1, "{audit:?}");
+        assert!(audit[0]
+            .justification
+            .as_deref()
+            .unwrap()
+            .contains("per run"));
+    }
+
+    #[test]
+    fn p2_flags_panics_outside_tests_only() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+fn g() { panic!(\"boom\"); }
+fn h(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert_eq!(super::f(None), 0); let v: Option<u32> = None; v.unwrap(); }
+}
+";
+        let f = lint_source("x.rs", src, &det());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == Rule::NoPanic));
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn p2_det_namespace_cannot_silence_pcn_rules() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // det-lint: allow(panic) — wrong namespace on purpose
+    x.unwrap()
+}
+";
+        let f = lint_source("x.rs", src, &det());
+        assert!(f.iter().any(|f| f.rule == Rule::NoPanic), "{f:?}");
+        // …and the det-side annotation is flagged as unknown there.
+        assert!(f.iter().any(|f| f.rule == Rule::Annotation), "{f:?}");
+    }
+
+    #[test]
+    fn p3_flags_raw_amount_math_with_taint_refinement() {
+        let src = "\
+fn settle(bal: Amount, amount: Amount) -> Amount { bal - amount }
+fn histogram(count: u64, width: u64) -> u64 { count * width }
+";
+        let f = lint_source("x.rs", src, &det());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::AmountMath);
+        assert_eq!(f[0].line, 1);
+        // A same-named u64 redeclaration un-taints (D2-style refinement).
+        let refined = "\
+fn a(amount: Amount) -> Amount { amount }
+fn b(amount: u64) -> u64 { amount * 2 }
+";
+        assert!(lint_source("x.rs", refined, &det()).is_empty());
+    }
+
+    #[test]
+    fn p3_amount_literal_operand_is_flagged() {
+        let src = "fn f(x: u64) -> u64 { x + Amount::UNIT }";
+        let f = lint_source("x.rs", src, &det());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::AmountMath);
+    }
+
+    #[test]
+    fn p_rules_respect_policy_gates() {
+        let mut p = det();
+        p.hot_alloc = false;
+        p.panics = false;
+        p.amount_math = false;
+        let src = "\
+// pcn-lint: hot
+fn run(bal: Amount, x: Amount) -> Amount { let v = vec![1]; v.first().unwrap(); bal - x }
+";
+        assert!(lint_source("x.rs", src, &p).is_empty());
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Fixture tests: every rule D1–D4 must reject its known-bad fixture
-//! (including a replay of the PR-3 `barabasi_albert` HashSet bug),
-//! annotated/sorted code must pass, and the real workspace must scan
-//! clean.
+//! Fixture tests: every rule D1–D4 and P1–P3 must reject its known-bad
+//! fixture (including replays of the PR-3 `barabasi_albert` HashSet bug
+//! and the pre-PR-7 graph/metrics clones in the DES hot loop),
+//! annotated code must pass, and the real workspace must scan clean
+//! with the P rules demonstrably live.
 
-use pcn_lint::rules::{lint_source, Rule};
+use pcn_lint::rules::{audit_source, lint_source, Rule};
 use pcn_lint::Policy;
 use std::path::Path;
 
@@ -76,6 +77,72 @@ fn unjustified_allow_suppresses_nothing() {
 }
 
 #[test]
+fn p1_pre_pr7_graph_and_metrics_clones_are_rejected() {
+    // The exact churn this rule was built to catch: the DES hot loop
+    // used to `graph().clone()` per run and `metrics().clone()` per
+    // report. Both sit two calls below the hot root in the fixture.
+    let f = lint_source(
+        "p1_hot_graph_clone.rs",
+        &fixture("p1_hot_graph_clone.rs"),
+        &det(),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f.iter().all(|f| f.rule == Rule::HotAlloc));
+    assert_eq!(f[0].line, 13, "must point at `net.graph().clone()`");
+    assert!(f[0].message.contains("step"), "{}", f[0].message);
+    assert_eq!(f[1].line, 18, "must point at `net.metrics().clone()`");
+    assert!(f[1].message.contains("report"), "{}", f[1].message);
+}
+
+#[test]
+fn p2_panic_paths_fixture_is_rejected_outside_tests() {
+    let f = lint_source("p2_panic_paths.rs", &fixture("p2_panic_paths.rs"), &det());
+    assert_eq!(f.len(), 3, "unwrap, expect, unreachable!: {f:?}");
+    assert!(f.iter().all(|f| f.rule == Rule::NoPanic));
+    // The unwrap inside `#[cfg(test)]` must NOT be among them.
+    assert!(f.iter().all(|f| f.line < 20), "{f:?}");
+}
+
+#[test]
+fn p3_amount_math_fixture_is_rejected() {
+    let f = lint_source("p3_amount_math.rs", &fixture("p3_amount_math.rs"), &det());
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f.iter().all(|f| f.rule == Rule::AmountMath));
+    assert_eq!(f[0].line, 7, "must point at `bal - amount`");
+    assert_eq!(f[1].line, 11, "must point at the fee expression");
+}
+
+#[test]
+fn p_good_annotated_passes_lint_and_audits_as_justified() {
+    let src = fixture("p_good_annotated.rs");
+    let f = lint_source("p_good_annotated.rs", &src, &det());
+    assert!(f.is_empty(), "{f:?}");
+    // The audit keeps exactly one justified suppression per P rule.
+    let audit = audit_source("p_good_annotated.rs", &src, &det());
+    assert_eq!(audit.len(), 3, "{audit:?}");
+    for rule in [Rule::HotAlloc, Rule::NoPanic, Rule::AmountMath] {
+        assert!(
+            audit
+                .iter()
+                .any(|f| f.rule == rule && f.justification.is_some()),
+            "missing justified {} suppression: {audit:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn p_unjustified_allow_suppresses_nothing() {
+    let f = lint_source(
+        "p_bad_annotation.rs",
+        &fixture("p_bad_annotation.rs"),
+        &det(),
+    );
+    assert!(f.iter().any(|f| f.rule == Rule::NoPanic), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == Rule::Annotation), "{f:?}");
+}
+
+#[test]
 fn real_workspace_scans_clean() {
     // The acceptance bar for every PR: the tree this test runs in has
     // zero unjustified nondeterminism.
@@ -88,11 +155,28 @@ fn real_workspace_scans_clean() {
     let findings = pcn_lint::lint_workspace(&root).expect("workspace scan");
     assert!(
         findings.is_empty(),
-        "det-lint findings in the workspace:\n{}",
+        "lint-audit findings in the workspace:\n{}",
         findings
             .iter()
             .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message))
             .collect::<Vec<_>>()
             .join("\n")
     );
+    // …and the hot-path rules are demonstrably *live* on this tree, not
+    // vacuously clean: the audit must report justified P1/P2
+    // suppressions (the DES hot loop carries per-run allow(hot-alloc)s;
+    // invariant-carrying allow(panic)s pepper the graph kernels). P3
+    // has no justified sites — every raw Amount op was converted to the
+    // saturating helpers — so for it "clean" alone is the contract,
+    // exercised by the known-bad fixture above.
+    let audit = pcn_lint::audit_workspace(&root).expect("workspace audit");
+    for rule in [Rule::HotAlloc, Rule::NoPanic] {
+        assert!(
+            audit
+                .iter()
+                .any(|f| f.rule == rule && f.justification.is_some()),
+            "no justified {} suppression anywhere in the workspace — is the rule inert?",
+            rule.name()
+        );
+    }
 }

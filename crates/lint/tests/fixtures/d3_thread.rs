@@ -6,6 +6,8 @@ use std::sync::Mutex;
 pub fn spawn_worker() {
     let shared = Mutex::new(0u64);
     std::thread::spawn(move || {
-        *shared.lock().unwrap() += 1;
+        if let Ok(mut v) = shared.lock() {
+            *v += 1;
+        }
     });
 }

@@ -1,0 +1,19 @@
+// Known-bad fixture: replays the pre-PR-7 DES hot loop, which cloned
+// the whole channel graph once per run and the Metrics struct once per
+// report. Both clones sit in functions reachable from the
+// `// pcn-lint: hot` root, so P1 must flag each at its exact line.
+
+// pcn-lint: hot — the event executor; everything it reaches is per-event
+pub fn run(net: &mut DesNetwork) -> Metrics {
+    step(net);
+    report(net)
+}
+
+fn step(net: &mut DesNetwork) {
+    let snapshot = net.graph().clone();
+    net.apply(&snapshot);
+}
+
+fn report(net: &mut DesNetwork) -> Metrics {
+    net.metrics().clone()
+}

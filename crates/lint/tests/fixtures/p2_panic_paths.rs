@@ -1,0 +1,28 @@
+// Known-bad fixture: the panic shapes P2 rejects in non-test library
+// code — hidden unwraps/expects and unconditional panic macros. Each
+// must become error propagation, a `debug_assert!`, or carry an
+// invariant-carrying `// pcn-lint: allow(panic) — <why>`.
+
+pub fn pop_amount(stack: &mut Vec<u64>) -> u64 {
+    stack.pop().unwrap()
+}
+
+pub fn lookup(table: &[(u32, u64)], key: u32) -> u64 {
+    table.iter().find(|(k, _)| *k == key).map(|(_, v)| *v).expect("key present")
+}
+
+pub fn dispatch(op: u8) -> u64 {
+    match op {
+        0 => 1,
+        _ => unreachable!("ops are validated upstream"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

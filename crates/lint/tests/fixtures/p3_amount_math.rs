@@ -1,0 +1,16 @@
+// Known-bad fixture: raw arithmetic on Amount-typed bindings. Balance
+// math must go through the saturating/checked helpers so overflow can
+// never panic or wrap mid-settlement. The u64 histogram arithmetic at
+// the bottom is NOT Amount-tainted and must stay clean.
+
+pub fn debit(bal: Amount, amount: Amount) -> Amount {
+    bal - amount
+}
+
+pub fn fee_total(base: Amount, per_hop: Amount, hops: u64) -> Amount {
+    base + per_hop * hops
+}
+
+pub fn histogram_width(count: u64, width: u64) -> u64 {
+    count * width
+}

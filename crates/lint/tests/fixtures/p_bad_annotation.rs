@@ -1,0 +1,8 @@
+// Known-bad fixture: a `pcn-lint:` allow with no written justification
+// suppresses nothing — the P2 finding survives AND the annotation
+// itself is flagged as malformed.
+
+pub fn head(stack: &[u64]) -> u64 {
+    // pcn-lint: allow(panic)
+    *stack.first().unwrap()
+}

@@ -1,0 +1,29 @@
+// Known-good fixture: the same hot-path shapes as the bad P fixtures,
+// each either using the checked helpers or carrying a justified
+// annotation — lint finds nothing, audit reports only justified
+// suppressions (one per P rule).
+
+// pcn-lint: hot — per-event executor for this fixture
+pub fn run(net: &mut Net) -> u64 {
+    // pcn-lint: allow(hot-alloc) — one order Vec per run, not per event
+    let order: Vec<usize> = (0..net.len()).collect();
+    settle(net, &order)
+}
+
+fn settle(net: &mut Net, order: &[usize]) -> u64 {
+    let first = head(order);
+    let bal = net.balance(first);
+    let spent = net.spent(first);
+    bal.saturating_sub(spent).micros()
+}
+
+fn head(order: &[usize]) -> usize {
+    // pcn-lint: allow(panic) — run() always passes a non-empty order
+    order.first().copied().expect("order is non-empty")
+}
+
+fn rescale(unit: Amount, k: u64) -> u64 {
+    // pcn-lint: allow(amount-math) — unit is ≤ 1000 micros by construction; the product fits u64
+    let wide = unit * k;
+    wide.micros()
+}

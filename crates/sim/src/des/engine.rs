@@ -104,10 +104,13 @@ impl DesEngine {
     /// settlement queue is fully drained before the report is built.
     ///
     /// The engine is one continuing virtual world: a second `run` on
-    /// the same engine keeps the clock, balances, metrics, and event
-    /// counter, so its report is **cumulative** over both workloads
-    /// (and its makespan is measured from the first run's earliest
-    /// arrival). Build a fresh engine per independent run.
+    /// the same engine keeps the clock, balances, and event counter.
+    /// The **metrics are moved into the report** (no per-run clone of
+    /// the latency histograms), so each report covers exactly its own
+    /// workload's attempts while the makespan of a second run is still
+    /// measured from that run's earliest arrival over the shared
+    /// clock. Build a fresh engine per independent run.
+    // pcn-lint: hot — the DES executor: everything it reaches is per-event
     pub fn run<R>(
         &mut self,
         router: &mut R,
@@ -117,6 +120,7 @@ impl DesEngine {
     where
         R: Router<DesNetwork> + ?Sized,
     {
+        // pcn-lint: allow(hot-alloc) — one sort scratch per run, not per event
         let mut order: Vec<usize> = (0..workload.len()).collect();
         order.sort_by_key(|&i| workload[i].0);
         let first_arrival = order
@@ -131,7 +135,7 @@ impl DesEngine {
         }
         self.net.drain_all();
         let makespan = self.net.horizon().saturating_sub(first_arrival);
-        let metrics = self.net.metrics().clone();
+        let metrics = self.net.take_metrics();
         let succeeded = metrics.total().succeeded;
         let secs = makespan.as_secs_f64();
         let throughput_pps = if secs > 0.0 {

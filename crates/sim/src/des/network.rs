@@ -134,6 +134,14 @@ pub struct DesNetwork {
     peak_in_flight: u64,
     /// Latest fire time ever scheduled or applied — the run's makespan.
     horizon: SimTime,
+    /// Scratch buffer for [`DesNetwork::probe_path`]'s per-hop edge
+    /// list, reused across probes so the hot path allocates nothing
+    /// per probe.
+    probe_scratch: Vec<Option<EdgeId>>,
+    /// Spent part edge-lists, recycled between reservations: a
+    /// settled or NACKed part returns its `Vec` here and the next
+    /// [`DesSession::try_send_part`] reuses it instead of allocating.
+    edge_pool: Vec<Vec<EdgeId>>,
 }
 
 impl DesNetwork {
@@ -156,6 +164,8 @@ impl DesNetwork {
             in_flight: 0,
             peak_in_flight: 0,
             horizon: SimTime::ZERO,
+            probe_scratch: Vec::new(),
+            edge_pool: Vec::new(),
         }
     }
 
@@ -167,6 +177,14 @@ impl DesNetwork {
     /// Metrics collected so far (delegates to the wrapped [`Network`]).
     pub fn metrics(&self) -> &Metrics {
         self.inner.metrics()
+    }
+
+    /// Moves the accumulated metrics out, leaving fresh (zeroed)
+    /// counters behind. [`DesEngine::run`](super::engine::DesEngine)
+    /// uses this to hand the report its metrics without cloning the
+    /// latency histograms at the end of every run.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(self.inner.metrics_mut())
     }
 
     /// Installs a fault-injection configuration on the wrapped network.
@@ -298,6 +316,7 @@ impl DesNetwork {
     /// delay in the metrics histogram (zero-service nodes are
     /// infinitely fast and record nothing — see
     /// [`node`](super::node)).
+    // pcn-lint: hot — runs once per message delivery, the innermost loop
     fn deliver(&mut self, node: NodeId, arrival: SimTime) -> SimTime {
         if self.service.model().service_time(node) == SimTime::ZERO {
             return arrival;
@@ -329,12 +348,14 @@ impl PaymentNetwork for DesNetwork {
     /// servicing the probe — any settlement wave landing after that
     /// instant is invisible, which is exactly how probe reports go
     /// stale under load.
+    // pcn-lint: hot — one round trip per probe; probes dominate under Flash
     fn probe_path(&mut self, path: &Path) -> Option<ProbeReport> {
         let nodes = path.nodes();
-        let edges: Vec<Option<EdgeId>> = path
-            .channels()
-            .map(|(u, v)| self.inner.graph().edge(u, v))
-            .collect();
+        // Per-hop edge ids go into the reused scratch buffer — no
+        // allocation once it has grown to the longest path probed.
+        let mut edges = std::mem::take(&mut self.probe_scratch);
+        edges.clear();
+        edges.extend(path.channels().map(|(u, v)| self.inner.graph().edge(u, v)));
         let mut t = self.now;
         // Out: hop i crosses channel i, then nodes[i + 1] services it.
         for (i, e) in edges.iter().enumerate() {
@@ -348,6 +369,7 @@ impl PaymentNetwork for DesNetwork {
             t += self.hop_delay(*e);
             t = self.deliver(nodes[i], t);
         }
+        self.probe_scratch = edges;
         self.drain_until(snapshot_at);
         let report = self.inner.probe_path(path);
         self.now = t;
@@ -410,18 +432,22 @@ impl DesSession<'_> {
     /// current clock — the `CONFIRM` (commit) or `REVERSE` (abort) pass
     /// of §5.1 — scheduling `make(edge, amount)` for the instant each
     /// hop's downstream node finishes servicing the wave. Consumes the
-    /// reserved parts and returns when the last wave lands.
+    /// reserved parts (their edge lists return to the pool) and
+    /// returns when the last wave lands.
+    // pcn-lint: hot — one wave per part on every commit/abort
     fn schedule_waves(&mut self, make: fn(EdgeId, Amount) -> Settle) -> SimTime {
         let mut settle_end = self.net.now;
-        for part in std::mem::take(&mut self.parts) {
+        for mut part in std::mem::take(&mut self.parts) {
             let mut t = self.net.now;
-            for e in part.edges {
+            for &e in &part.edges {
                 let (_, to) = self.net.inner.graph().endpoints(e);
                 t += self.net.hop_delay(Some(e));
                 t = self.net.deliver(to, t);
                 self.net.schedule(t, make(e, part.amount));
             }
             settle_end = settle_end.max(t);
+            part.edges.clear();
+            self.net.edge_pool.push(part.edges);
         }
         settle_end
     }
@@ -441,13 +467,16 @@ impl PaymentSession for DesSession<'_> {
     /// services it, and the sender's clock lands when it has serviced
     /// the returning NACK. On success the sender's clock lands when it
     /// has serviced the last hop's ACK.
+    // pcn-lint: hot — one COMMIT wave per reservation attempt
     fn try_send_part(&mut self, path: &Path, amount: Amount) -> Result<(), PartFailure> {
         assert!(!self.closed, "session already closed");
         if amount.is_zero() {
             return Ok(());
         }
         let mut t = self.net.now;
-        let mut debited: Vec<EdgeId> = Vec::with_capacity(path.hops());
+        // Reuse a pooled edge list (see `DesNetwork::edge_pool`)
+        // instead of allocating one per reservation attempt.
+        let mut debited: Vec<EdgeId> = self.net.edge_pool.pop().unwrap_or_default();
         for (hop, (u, v)) in path.channels().enumerate() {
             let edge = self.net.inner.graph().edge(u, v);
             t += self.net.hop_delay(edge);
@@ -458,7 +487,7 @@ impl PaymentSession for DesSession<'_> {
                 Some(e) => {
                     let bal = self.net.inner.balance(e);
                     if bal >= amount {
-                        self.net.inner.set_balance(e, bal - amount);
+                        self.net.inner.set_balance(e, bal.saturating_sub(amount));
                         self.net.escrow += amount.micros() as u128;
                         debited.push(e);
                         continue;
@@ -476,6 +505,8 @@ impl PaymentSession for DesSession<'_> {
                 self.net.schedule(t, Settle::Restore { edge: d, amount });
             }
             self.net.now = t;
+            debited.clear();
+            self.net.edge_pool.push(debited);
             return Err(PartFailure {
                 failed_hop: hop,
                 available,
@@ -626,8 +657,7 @@ mod tests {
         net.drain_all();
         assert_eq!(net.escrow_micros(), 0);
         assert_eq!(net.in_flight(), 0);
-        let g = net.graph().clone();
-        let rev = g.edge(n(1), n(0)).unwrap();
+        let rev = net.graph().edge(n(1), n(0)).unwrap();
         let inner = net.into_inner();
         assert_eq!(inner.balance(rev), Amount::from_units(14));
         assert_eq!(inner.total_funds(), Amount::from_units(60));
@@ -787,7 +817,7 @@ mod tests {
             }
             net.drain_all();
             let now = net.now();
-            let metrics = net.metrics().clone();
+            let metrics = net.take_metrics();
             let inner = net.into_inner();
             (now, metrics, inner)
         };

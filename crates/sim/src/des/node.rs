@@ -192,6 +192,7 @@ impl ServiceQueues {
     ///
     /// Zero-service messages complete at their arrival instant without
     /// touching the calendar (see the module docs).
+    // pcn-lint: hot — the reservation lookup behind every delivery
     pub fn admit(&mut self, node: NodeId, arrival: SimTime) -> ServicePass {
         let service = self.model.service_time(node);
         if service == SimTime::ZERO {

@@ -78,6 +78,7 @@ impl<T> EventQueue<T> {
 
     /// Schedules `payload` to fire at `fire`. Events scheduled for the
     /// same instant fire in call order.
+    // pcn-lint: hot — every settlement effect passes through here
     pub fn schedule(&mut self, fire: SimTime, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -90,11 +91,12 @@ impl<T> EventQueue<T> {
     }
 
     /// Pops the earliest event if it fires at or before `horizon`.
+    // pcn-lint: hot — every drained event passes through here
     pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, T)> {
         if self.peek_time()? > horizon {
             return None;
         }
-        let Reverse(s) = self.heap.pop().expect("peeked event exists");
+        let Reverse(s) = self.heap.pop()?;
         self.delivered += 1;
         Some((s.fire, s.payload))
     }

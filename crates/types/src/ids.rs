@@ -26,6 +26,7 @@ impl NodeId {
     /// close; the paper's largest is 93,502 nodes before pruning).
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // pcn-lint: allow(panic) — documented contract: NodeId is u32 by design
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 }

@@ -77,7 +77,7 @@ impl SizeModel {
                 return (v0.ln() + t * (v1.ln() - v0.ln())).exp();
             }
         }
-        anchors.last().unwrap().0
+        anchors.last().unwrap().0 // pcn-lint: allow(panic) — the anchor tables are non-empty consts
     }
 
     /// Draws one size in native units (USD or satoshi).

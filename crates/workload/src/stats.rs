@@ -10,7 +10,7 @@ pub fn empirical_cdf(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     let step = (n / points).max(1);
     let mut out = Vec::new();
@@ -29,7 +29,7 @@ pub fn empirical_cdf(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "quantile of empty sample set");
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let idx = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
     sorted[idx]
 }
@@ -41,7 +41,7 @@ pub fn top_fraction_volume_share(samples: &[f64], top_fraction: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let total: f64 = sorted.iter().sum();
     if total == 0.0 {
         return 0.0;

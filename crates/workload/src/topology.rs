@@ -66,6 +66,7 @@ pub fn testbed_topology(n: usize, lo: u64, hi: u64, seed: u64) -> Network {
         .map(|_| Amount::from_units(rng.random_range(lo..hi)))
         .collect();
     let fees = vec![FeePolicy::FREE; graph.edge_count()];
+    // pcn-lint: allow(panic) — both tables are built with len == edge_count just above
     Network::new(graph, balances, fees).expect("tables sized from graph")
 }
 
@@ -81,6 +82,7 @@ fn assign_lognormal_funds(
     seed: u64,
 ) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
+    // pcn-lint: allow(panic) — callers pass fixed, finite (median, sigma) model constants
     let dist = LogNormal::new(median.ln(), sigma).expect("valid log-normal parameters");
     let mut balances = vec![Amount::ZERO; graph.edge_count()];
     let edges: Vec<_> = graph.edges().collect();
@@ -107,6 +109,7 @@ fn assign_lognormal_funds(
         }
     }
     let fees = vec![FeePolicy::FREE; graph.edge_count()];
+    // pcn-lint: allow(panic) — both tables are built with len == edge_count just above
     Network::new(graph, balances, fees).expect("tables sized from graph")
 }
 
