@@ -17,7 +17,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pcn_experiments::harness::{run_scheme_des, DesLoad, DEFAULT_MICE_FRACTION};
 use pcn_experiments::SimScheme;
-use pcn_sim::{LatencyModel, Network, ServiceModel};
+use pcn_sim::{ChurnRate, LatencyModel, Network, ServiceModel};
 use pcn_types::Payment;
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
@@ -31,6 +31,7 @@ fn load() -> DesLoad {
         rate_per_sec: 200.0,
         latency: LatencyModel::constant_ms(25),
         service: ServiceModel::constant_ms(10),
+        churn: ChurnRate::zero(),
     }
 }
 

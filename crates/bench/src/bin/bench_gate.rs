@@ -2,20 +2,21 @@
 //! the committed trajectory, or looks physically suspicious.
 //!
 //! ```text
-//! bench_gate <e2e|maxflow> <committed.json> <regenerated.json>
+//! bench_gate <e2e|maxflow|churn> <committed.json> <regenerated.json>
 //! ```
 //!
 //! Compares the regenerated smoke bench against the committed file
 //! (see `flash_bench::gate` for the checks: >25% virtual-metric
 //! regressions fail; identical latency percentiles across a ≥4×
-//! offered-load spread fail as physically suspicious; max-flow values
-//! must be identical; wall-clock deltas only warn). The delta table
+//! offered-load spread fail as physically suspicious; the churn sweep
+//! must cover ≥3 rates with strictly degrading success; max-flow
+//! values must be identical; wall-clock deltas only warn). The delta table
 //! and findings are printed to stdout and appended to
 //! `$GITHUB_STEP_SUMMARY` when that variable is set, so the per-PR
 //! deltas are readable from the Actions run page without downloading
 //! artifacts. Exits 1 on any failing finding.
 
-use flash_bench::gate::{gate_e2e, gate_maxflow, GateReport, Severity};
+use flash_bench::gate::{gate_churn, gate_e2e, gate_maxflow, GateReport, Severity};
 use std::io::Write;
 
 fn render(kind: &str, baseline_path: &str, candidate_path: &str, report: &GateReport) -> String {
@@ -45,7 +46,7 @@ fn render(kind: &str, baseline_path: &str, candidate_path: &str, report: &GateRe
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() != 3 || matches!(args[0].as_str(), "--help" | "-h") {
-        eprintln!("usage: bench_gate <e2e|maxflow> <committed.json> <regenerated.json>");
+        eprintln!("usage: bench_gate <e2e|maxflow|churn> <committed.json> <regenerated.json>");
         std::process::exit(2);
     }
     let (kind, baseline_path, candidate_path) = (&args[0], &args[1], &args[2]);
@@ -60,8 +61,9 @@ fn main() {
     let report = match kind.as_str() {
         "e2e" => gate_e2e(&baseline, &candidate),
         "maxflow" => gate_maxflow(&baseline, &candidate),
+        "churn" => gate_churn(&baseline, &candidate),
         other => {
-            eprintln!("bench_gate: unknown kind {other} (want e2e or maxflow)");
+            eprintln!("bench_gate: unknown kind {other} (want e2e, maxflow, or churn)");
             std::process::exit(2);
         }
     }

@@ -30,7 +30,7 @@
 
 use pcn_experiments::harness::{run_scheme_des, DesLoad, DEFAULT_MICE_FRACTION};
 use pcn_experiments::SimScheme;
-use pcn_sim::{LatencyModel, ServiceModel};
+use pcn_sim::{ChurnRate, LatencyModel, ServiceModel};
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
 use serde::Serialize;
@@ -111,6 +111,7 @@ fn main() {
                     rate_per_sec: load,
                     latency: LatencyModel::constant_ms(hop_latency_ms),
                     service: ServiceModel::constant_ms(service_time_ms),
+                    churn: ChurnRate::zero(),
                 },
             );
             let wall = wall_start.elapsed();

@@ -1,5 +1,6 @@
 //! The bench-regression gate: diffs regenerated bench results against
-//! the committed `BENCH_e2e.json` / `BENCH_maxflow.json` trajectories.
+//! the committed `BENCH_e2e.json` / `BENCH_maxflow.json` /
+//! `BENCH_churn.json` trajectories.
 //!
 //! Two kinds of check:
 //!
@@ -21,7 +22,11 @@
 //!   completion-latency percentiles across a ≥[`FLAT_LOAD_SPREAD`]×
 //!   offered-load spread. The pre-service-queue engine committed
 //!   exactly that — bit-identical p50/p95/p99 at 50 and 400 pps —
-//!   and nothing diffing the artifact would ever have objected.
+//!   and nothing diffing the artifact would ever have objected. The
+//!   churn bench carries the same kind of check: success must
+//!   *strictly* degrade as the churn rate rises across ≥3 rates per
+//!   scheme ([`gate_churn`]) — a flat curve means churn events are
+//!   not actually reaching the engine.
 //!
 //! The library half (this module) is pure string-in/report-out so the
 //! gate itself is testable — `crates/bench/tests/gate.rs` replays the
@@ -112,6 +117,71 @@ impl E2eRecord {
             self.scheme.clone(),
             self.nodes,
             self.payments,
+            self.hop_latency_ms,
+            self.service_time_ms,
+        )
+    }
+}
+
+/// One record of `BENCH_churn.json`: one (scheme, churn-rate) point of
+/// the success-under-churn trajectory. Counter fields carry
+/// `#[serde(default)]` so the gate keeps parsing artifacts from before
+/// a counter existed.
+#[derive(Clone, Debug, Deserialize)]
+pub struct ChurnRecord {
+    /// Scheme label (`Flash`, `Spider`, …).
+    pub scheme: String,
+    /// Topology size.
+    pub nodes: usize,
+    /// Trace length.
+    pub payments: usize,
+    /// Offered load, payments per virtual second (fixed within a sweep).
+    pub offered_pps: f64,
+    /// Channel-close intensity — the sweep variable (crashes and
+    /// drains ride along proportionally; see the churn figure module).
+    pub closes_per_sec: f64,
+    /// Per-hop propagation latency, ms.
+    pub hop_latency_ms: u64,
+    /// Per-node service time, ms.
+    pub service_time_ms: u64,
+    /// Fraction of payments fully delivered.
+    pub success_ratio: f64,
+    /// p95 completion latency, virtual ms.
+    pub p95_latency_ms: f64,
+    /// Channels closed by churn during the run.
+    #[serde(default)]
+    pub closed_channels: u64,
+    /// Probes bounced off closed channels / crashed nodes.
+    #[serde(default)]
+    pub stale_probe_failures: u64,
+    /// Threshold-triggered re-probes across all routers.
+    #[serde(default)]
+    pub reprobes_triggered: u64,
+    /// Wall-clock cost of the simulation, ns (not gated).
+    #[serde(default)]
+    pub wall_ns: u64,
+}
+
+impl ChurnRecord {
+    fn key(&self) -> (String, usize, usize, u64, u64, u64, u64) {
+        (
+            self.scheme.clone(),
+            self.nodes,
+            self.payments,
+            self.offered_pps.to_bits(),
+            self.closes_per_sec.to_bits(),
+            self.hop_latency_ms,
+            self.service_time_ms,
+        )
+    }
+
+    /// The configuration group a record sweeps churn within.
+    fn group(&self) -> (String, usize, usize, u64, u64, u64) {
+        (
+            self.scheme.clone(),
+            self.nodes,
+            self.payments,
+            self.offered_pps.to_bits(),
             self.hop_latency_ms,
             self.service_time_ms,
         )
@@ -375,6 +445,149 @@ fn check_flat_latency(records: &[E2eRecord], report: &mut GateReport) {
                 min_pps,
                 max_pps
             ));
+        }
+    }
+}
+
+/// Gates a regenerated churn bench (`candidate`) against the committed
+/// one (`baseline`), both as JSON text.
+///
+/// * **Regressions** — success ratio down >[`MAX_REGRESSION`] on a
+///   matched (scheme, churn-rate) pair fails; p95 completion latency
+///   only warns (latency tails under churn are legitimately sensitive
+///   to re-probing behavior).
+/// * **Shape** — within each (scheme, load, topology, delay)
+///   configuration, the candidate must sweep **at least three** churn
+///   rates and the success ratio must *strictly* decrease as the rate
+///   rises. A flat or non-monotone curve fails as physically
+///   suspicious: either churn events are not reaching the engine, or
+///   the sweep no longer stresses it.
+/// * **Zero-churn purity** — a `closes_per_sec = 0` record reporting
+///   nonzero churn counters fails: the empty schedule must stay
+///   bit-exact.
+pub fn gate_churn(baseline: &str, candidate: &str) -> Result<GateReport, String> {
+    let base: Vec<ChurnRecord> =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline: {e:?}"))?;
+    let cand: Vec<ChurnRecord> =
+        serde_json::from_str(candidate).map_err(|e| format!("candidate: {e:?}"))?;
+    let mut report = GateReport::default();
+    report.table.push_str(
+        "| scheme | closes/s | success | Δ | p95 latency (ms) | Δ | closed | reprobes |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    let mut matched = 0usize;
+    for c in &cand {
+        let Some(b) = base.iter().find(|b| b.key() == c.key()) else {
+            report.warn(format!(
+                "no committed baseline for {} @ {} closes/s (nodes {}, {} pps) — new configuration?",
+                c.scheme, c.closes_per_sec, c.nodes, c.offered_pps
+            ));
+            continue;
+        };
+        matched += 1;
+        let d_ratio = rel_change(b.success_ratio, c.success_ratio);
+        let d_p95 = rel_change(b.p95_latency_ms, c.p95_latency_ms);
+        report.table.push_str(&format!(
+            "| {} | {} | {:.1}% → {:.1}% | {} | {:.1} → {:.1} | {} | {} | {} |\n",
+            c.scheme,
+            c.closes_per_sec,
+            b.success_ratio * 100.0,
+            c.success_ratio * 100.0,
+            pct(d_ratio),
+            b.p95_latency_ms,
+            c.p95_latency_ms,
+            pct(d_p95),
+            c.closed_channels,
+            c.reprobes_triggered,
+        ));
+        if d_ratio < -MAX_REGRESSION {
+            report.fail(format!(
+                "{} @ {} closes/s: success ratio regressed {} ({:.1}% → {:.1}%)",
+                c.scheme,
+                c.closes_per_sec,
+                pct(d_ratio),
+                b.success_ratio * 100.0,
+                c.success_ratio * 100.0
+            ));
+        }
+        if d_p95 > MAX_REGRESSION {
+            report.warn(format!(
+                "{} @ {} closes/s: p95 completion latency up {} ({:.1} → {:.1} ms) — \
+                 warn-only (churn latency tails are re-probing-sensitive)",
+                c.scheme,
+                c.closes_per_sec,
+                pct(d_p95),
+                b.p95_latency_ms,
+                c.p95_latency_ms
+            ));
+        }
+    }
+    for b in &base {
+        if !cand.iter().any(|c| c.key() == b.key()) {
+            report.warn(format!(
+                "committed record {} @ {} closes/s was not regenerated — lost coverage?",
+                b.scheme, b.closes_per_sec
+            ));
+        }
+    }
+    if matched == 0 && !base.is_empty() {
+        report.fail(
+            "no candidate record matches any committed record — \
+             schema or configuration drift; regenerate the committed file"
+                .into(),
+        );
+    }
+    check_churn_shape(&cand, &mut report);
+    report.sort();
+    Ok(report)
+}
+
+/// The churn physical-suspicion check: each configuration must sweep
+/// ≥3 churn rates and success must strictly fall as churn rises.
+fn check_churn_shape(records: &[ChurnRecord], report: &mut GateReport) {
+    let mut groups: Vec<(String, usize, usize, u64, u64, u64)> = Vec::new();
+    for r in records {
+        if !groups.contains(&r.group()) {
+            groups.push(r.group());
+        }
+    }
+    for g in groups {
+        let mut members: Vec<&ChurnRecord> = records.iter().filter(|r| r.group() == g).collect();
+        members.sort_by_key(|r| r.closes_per_sec.to_bits());
+        if members.len() < 3 {
+            report.fail(format!(
+                "{} (nodes {}, {} pps): only {} churn rate(s) swept — \
+                 the shape check needs at least 3",
+                members[0].scheme,
+                members[0].nodes,
+                members[0].offered_pps,
+                members.len()
+            ));
+            continue;
+        }
+        for w in members.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi.success_ratio >= lo.success_ratio {
+                report.fail(format!(
+                    "physically suspicious: {} success ratio does not strictly degrade \
+                     with churn ({:.1}% @ {} closes/s vs {:.1}% @ {} closes/s) — \
+                     churn is not reaching the engine or the sweep no longer stresses it",
+                    hi.scheme,
+                    lo.success_ratio * 100.0,
+                    lo.closes_per_sec,
+                    hi.success_ratio * 100.0,
+                    hi.closes_per_sec
+                ));
+            }
+        }
+        for r in &members {
+            if r.closes_per_sec == 0.0 && (r.closed_channels != 0 || r.stale_probe_failures != 0) {
+                report.fail(format!(
+                    "{}: zero-churn record reports churn activity \
+                     ({} closed, {} stale probe failures) — the empty schedule must be exact",
+                    r.scheme, r.closed_channels, r.stale_probe_failures
+                ));
+            }
         }
     }
 }

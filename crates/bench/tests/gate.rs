@@ -1,7 +1,7 @@
 //! Tests of the bench-regression gate itself — including the check
 //! that it would have caught the PR-4 flat latency curve.
 
-use flash_bench::gate::{gate_e2e, gate_maxflow, Severity};
+use flash_bench::gate::{gate_churn, gate_e2e, gate_maxflow, Severity};
 
 /// The `BENCH_e2e.json` that PR 4 committed: the propagation-only
 /// engine reported **bit-identical** p50/p95/p99 completion latency at
@@ -184,6 +184,124 @@ fn gate_parses_pre_queue_artifacts_without_the_new_fields() {
         .findings
         .iter()
         .any(|f| f.message.contains("new configuration")));
+}
+
+/// A churn sweep where success does **not** degrade with churn — flat
+/// for Spider, *rising* for Flash. A plain diff against itself is
+/// clean; only the shape check can object. This is the churn analogue
+/// of the PR-4 flat-latency fixture: the exact artifact a broken churn
+/// wiring (events generated but never applied) would commit.
+const NONMONO_CHURN: &str = include_str!("fixtures/nonmono_churn.json");
+
+fn churn_record(scheme: &str, closes: f64, ratio: f64, closed: u64) -> String {
+    format!(
+        r#"{{"scheme":"{scheme}","nodes":60,"payments":200,"offered_pps":100.0,"closes_per_sec":{closes},"hop_latency_ms":25,"service_time_ms":10,"success_ratio":{ratio},"p95_latency_ms":1000.0,"closed_channels":{closed},"stale_probe_failures":{closed},"reprobes_triggered":1,"wall_ns":1}}"#
+    )
+}
+
+/// A healthy three-rate sweep: success strictly falls with churn.
+fn healthy_churn() -> String {
+    array(&[
+        churn_record("Flash", 0.0, 0.77, 0),
+        churn_record("Flash", 10.0, 0.70, 17),
+        churn_record("Flash", 40.0, 0.25, 58),
+    ])
+}
+
+#[test]
+fn churn_gate_fails_the_non_monotone_fixture() {
+    // Diffing the fixture against itself: every delta is zero, yet the
+    // gate must reject it — success not degrading under rising churn
+    // means churn events are not reaching the engine.
+    let report = gate_churn(NONMONO_CHURN, NONMONO_CHURN).expect("fixture parses");
+    assert!(
+        !report.passed(),
+        "the non-monotone curve must fail the gate"
+    );
+    let shape_fails: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Fail)
+        .filter(|f| f.message.contains("physically suspicious"))
+        .collect();
+    // Flash is flat then rising (2 bad steps), Spider flat twice.
+    assert_eq!(
+        shape_fails.len(),
+        4,
+        "one failure per non-degrading step: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn churn_gate_passes_a_healthy_degrading_sweep() {
+    let h = healthy_churn();
+    let report = gate_churn(&h, &h).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+    assert!(report.table.contains("Flash"));
+}
+
+#[test]
+fn churn_gate_fails_a_success_regression_over_25_percent() {
+    let base = healthy_churn();
+    let cand = array(&[
+        churn_record("Flash", 0.0, 0.77, 0),
+        churn_record("Flash", 10.0, 0.50, 17), // -29% vs baseline 0.70
+        churn_record("Flash", 40.0, 0.25, 58),
+    ]);
+    let report = gate_churn(&base, &cand).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("success ratio regressed")));
+}
+
+#[test]
+fn churn_gate_requires_at_least_three_rates() {
+    let two = array(&[
+        churn_record("Flash", 0.0, 0.77, 0),
+        churn_record("Flash", 40.0, 0.25, 58),
+    ]);
+    let report = gate_churn(&two, &two).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("at least 3")));
+}
+
+#[test]
+fn churn_gate_fails_churn_activity_at_zero_rate() {
+    // A zero-churn record reporting closed channels breaks the empty-
+    // schedule exactness contract (and would silently poison the
+    // zero-churn/e2e bit-identity check).
+    let cand = array(&[
+        churn_record("Flash", 0.0, 0.77, 3), // closed_channels = 3 at rate 0
+        churn_record("Flash", 10.0, 0.70, 17),
+        churn_record("Flash", 40.0, 0.25, 58),
+    ]);
+    let report = gate_churn(&cand, &cand).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("empty schedule")));
+}
+
+#[test]
+fn churn_gate_parses_artifacts_without_counter_fields() {
+    // Counter fields are serde-defaulted: a pared-down record (no
+    // closed_channels / stale_probe_failures / reprobes_triggered /
+    // wall_ns) must still parse and pass the shape check.
+    let bare = |closes: f64, ratio: f64| {
+        format!(
+            r#"{{"scheme":"Flash","nodes":60,"payments":200,"offered_pps":100.0,"closes_per_sec":{closes},"hop_latency_ms":25,"service_time_ms":10,"success_ratio":{ratio},"p95_latency_ms":1000.0}}"#
+        )
+    };
+    let old = array(&[bare(0.0, 0.77), bare(10.0, 0.70), bare(40.0, 0.25)]);
+    let report = gate_churn(&old, &old).expect("counterless artifact parses");
+    assert!(report.passed(), "{:#?}", report.findings);
 }
 
 const MAXFLOW_BASE: &str = r#"[

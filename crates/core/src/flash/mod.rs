@@ -17,7 +17,9 @@ pub mod elephant;
 pub mod fees;
 pub mod mice;
 
-use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
+use pcn_sim::{
+    FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router, StalenessTracker,
+};
 use pcn_types::{Amount, Payment, PaymentClass};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,6 +69,7 @@ pub struct FlashRouter {
     table: mice::RoutingTable,
     rng: StdRng,
     clock: u64,
+    staleness: StalenessTracker,
 }
 
 impl FlashRouter {
@@ -79,12 +82,19 @@ impl FlashRouter {
             table,
             rng,
             clock: 0,
+            staleness: StalenessTracker::default(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &FlashConfig {
         &self.config
+    }
+
+    /// The per-destination staleness accounting (stale commit errors
+    /// and lost probes feeding the re-probe thresholds).
+    pub fn staleness(&self) -> &StalenessTracker {
+        &self.staleness
     }
 
     /// Number of (sender, receiver) entries currently cached in the mice
@@ -130,7 +140,8 @@ impl FlashRouter {
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         };
         let mut session = net.begin_payment(payment, class);
-        if session.try_send_parts(&parts).is_err() {
+        if let Err(e) = session.try_send_parts(&parts) {
+            self.staleness.record_failure(payment.receiver, e.cause);
             session.abort();
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }
@@ -168,20 +179,25 @@ impl FlashRouter {
             // First try the full remaining amount — no probe needed when
             // it goes through ("it only probes a path when it cannot
             // deliver the payment in full").
-            if session.try_send_part(path, remaining).is_ok() {
-                break;
+            match session.try_send_part(path, remaining) {
+                Ok(()) => break,
+                Err(e) => self.staleness.record_failure(payment.receiver, e.cause),
             }
             // Probe to learn the effective capacity, then send that much.
             let Some(report) = session.probe_path(path) else {
-                continue; // probe lost under fault injection
+                // Probe lost: fault injection or a stale hop (closed
+                // channel / crashed node) bounced it.
+                self.staleness.record_probe_loss(payment.receiver);
+                continue;
             };
             let cp = report.bottleneck().min(session.remaining());
             if cp.is_zero() {
                 dead_paths.push(idx);
                 continue;
             }
-            if session.try_send_part(path, cp).is_err() {
+            if let Err(e) = session.try_send_part(path, cp) {
                 // Probe raced a fault distortion; skip the path.
+                self.staleness.record_failure(payment.receiver, e.cause);
                 continue;
             }
         }
@@ -220,6 +236,16 @@ impl<N: PaymentNetwork> Router<N> for FlashRouter {
     }
 
     fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        // Stale-state detection: once this destination has accumulated
+        // enough stale errors / lost probes, refresh the routing table
+        // from the latest topology instead of retrying dead paths.
+        if self
+            .staleness
+            .should_reprobe(payment.receiver, net.graph().edge_count())
+        {
+            net.note_reprobe();
+            self.table.refresh(net.graph());
+        }
         match class {
             PaymentClass::Elephant => self.route_elephant(net, payment, class),
             // The m = 0 configuration routes mice with the elephant

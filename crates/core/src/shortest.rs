@@ -6,17 +6,21 @@
 //! channel on the path holds the whole demand.
 
 use pcn_graph::bfs;
-use pcn_sim::{FailureReason, PaymentNetwork, RouteOutcome, Router};
+use pcn_sim::{
+    FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router, StalenessTracker,
+};
 use pcn_types::{Payment, PaymentClass};
 
 /// The fewest-hops single-path baseline router.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ShortestPathRouter;
+#[derive(Clone, Debug, Default)]
+pub struct ShortestPathRouter {
+    staleness: StalenessTracker,
+}
 
 impl ShortestPathRouter {
     /// Creates the baseline router.
     pub fn new() -> Self {
-        ShortestPathRouter
+        ShortestPathRouter::default()
     }
 }
 
@@ -26,12 +30,30 @@ impl<N: PaymentNetwork> Router<N> for ShortestPathRouter {
     }
 
     fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        // SP recomputes its BFS path per payment, so a tripped
+        // staleness threshold only notifies the backend.
+        if self
+            .staleness
+            .should_reprobe(payment.receiver, net.graph().edge_count())
+        {
+            net.note_reprobe();
+        }
         let Some(path) = bfs::shortest_path(net.graph(), payment.sender, payment.receiver) else {
             // Record the attempt for fair success-ratio accounting.
             net.record_rejected_attempt(payment, class);
             return RouteOutcome::failure(FailureReason::NoRoute);
         };
-        net.send_single_path(payment, class, &path)
+        // Inlined `send_single_path` so the hop-failure cause reaches
+        // the staleness tracker.
+        let mut session = net.begin_payment(payment, class);
+        match session.try_send_part(&path, payment.amount) {
+            Ok(()) => session.commit(),
+            Err(e) => {
+                self.staleness.record_failure(payment.receiver, e.cause);
+                session.abort();
+                RouteOutcome::failure(FailureReason::InsufficientCapacity)
+            }
+        }
     }
 }
 
@@ -59,7 +81,7 @@ mod tests {
     fn delivers_within_capacity() {
         let mut net = net();
         let p = Payment::new(TxId(1), n(0), n(3), Amount::from_units(10));
-        let out = ShortestPathRouter.route(&mut net, &p, PaymentClass::Mice);
+        let out = ShortestPathRouter::new().route(&mut net, &p, PaymentClass::Mice);
         assert!(out.is_success());
         assert_eq!(net.metrics().probe_messages, 0, "SP never probes");
     }
@@ -69,7 +91,7 @@ mod tests {
         let mut net = net();
         // 11 > 10: SP cannot split across the two disjoint routes.
         let p = Payment::new(TxId(2), n(0), n(3), Amount::from_units(11));
-        let out = ShortestPathRouter.route(&mut net, &p, PaymentClass::Mice);
+        let out = ShortestPathRouter::new().route(&mut net, &p, PaymentClass::Mice);
         assert!(!out.is_success());
     }
 
@@ -79,7 +101,7 @@ mod tests {
         g.add_channel(n(0), n(1)).unwrap();
         let mut net = Network::uniform(g, Amount::from_units(10));
         let p = Payment::new(TxId(3), n(0), n(2), Amount::from_units(1));
-        let out = ShortestPathRouter.route(&mut net, &p, PaymentClass::Mice);
+        let out = ShortestPathRouter::new().route(&mut net, &p, PaymentClass::Mice);
         assert_eq!(out, RouteOutcome::failure(FailureReason::NoRoute));
         assert_eq!(net.metrics().total().attempted, 1);
         assert_eq!(net.metrics().total().succeeded, 0);

@@ -17,7 +17,9 @@
 
 use crate::speedymurmurs::split_evenly;
 use pcn_graph::{bfs, DiGraph, Path};
-use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
+use pcn_sim::{
+    FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router, StalenessTracker,
+};
 use pcn_types::{NodeId, Payment, PaymentClass};
 
 /// The SilentWhispers landmark-centered router.
@@ -32,6 +34,7 @@ pub struct SilentWhispersRouter {
     /// Per landmark: parent pointers away from the landmark.
     from_landmark: Vec<Vec<Option<NodeId>>>,
     ready: bool,
+    staleness: StalenessTracker,
 }
 
 impl Default for SilentWhispersRouter {
@@ -54,6 +57,7 @@ impl SilentWhispersRouter {
             to_landmark: Vec::new(),
             from_landmark: Vec::new(),
             ready: false,
+            staleness: StalenessTracker::default(),
         }
     }
 
@@ -133,6 +137,16 @@ impl<N: PaymentNetwork> Router<N> for SilentWhispersRouter {
     }
 
     fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        // Stale-state detection: enough stale errors toward this
+        // destination trigger a fresh periodic BFS (the paper's
+        // landmark trees are rebuilt below).
+        if self
+            .staleness
+            .should_reprobe(payment.receiver, net.graph().edge_count())
+        {
+            net.note_reprobe();
+            self.ready = false;
+        }
         self.ensure_trees(net.graph());
         let routes: Vec<Path> = (0..self.landmarks.len())
             .filter_map(|i| self.landmark_route(i, payment.sender, payment.receiver))
@@ -143,7 +157,8 @@ impl<N: PaymentNetwork> Router<N> for SilentWhispersRouter {
         }
         let parts = split_evenly(routes, payment.amount);
         let mut session = net.begin_payment(payment, class);
-        if session.try_send_parts(&parts).is_err() {
+        if let Err(e) = session.try_send_parts(&parts) {
+            self.staleness.record_failure(payment.receiver, e.cause);
             session.abort();
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }

@@ -15,7 +15,9 @@
 //! then reversed (atomicity).
 
 use pcn_graph::{bfs, DiGraph, Path};
-use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
+use pcn_sim::{
+    FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router, StalenessTracker,
+};
 use pcn_types::{Amount, NodeId, Payment, PaymentClass};
 
 /// Per-landmark prefix-embedding coordinates.
@@ -72,6 +74,7 @@ pub struct SpeedyMurmursRouter {
     pub num_landmarks: usize,
     embeddings: Vec<TreeEmbedding>,
     ready: bool,
+    staleness: StalenessTracker,
 }
 
 impl Default for SpeedyMurmursRouter {
@@ -92,6 +95,7 @@ impl SpeedyMurmursRouter {
             num_landmarks,
             embeddings: Vec::new(),
             ready: false,
+            staleness: StalenessTracker::default(),
         }
     }
 
@@ -145,6 +149,17 @@ impl<N: PaymentNetwork> Router<N> for SpeedyMurmursRouter {
     }
 
     fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        // Stale-state detection: enough stale errors toward this
+        // destination invalidate the landmark embeddings, which are
+        // then rebuilt from the latest topology below.
+        if self
+            .staleness
+            .should_reprobe(payment.receiver, net.graph().edge_count())
+        {
+            net.note_reprobe();
+            self.ready = false;
+            self.embeddings.clear();
+        }
         self.ensure_embeddings(net.graph());
         let g = net.graph().clone();
         let routes: Vec<Path> = self
@@ -158,7 +173,8 @@ impl<N: PaymentNetwork> Router<N> for SpeedyMurmursRouter {
         }
         let parts = split_evenly(routes, payment.amount);
         let mut session = net.begin_payment(payment, class);
-        if session.try_send_parts(&parts).is_err() {
+        if let Err(e) = session.try_send_parts(&parts) {
+            self.staleness.record_failure(payment.receiver, e.cause);
             session.abort();
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }

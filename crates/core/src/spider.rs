@@ -10,7 +10,9 @@
 //! measures), waterfills the demand across them, and sends atomically.
 
 use pcn_graph::{disjoint, Path};
-use pcn_sim::{FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router};
+use pcn_sim::{
+    FailureReason, PaymentNetwork, PaymentSession, RouteOutcome, Router, StalenessTracker,
+};
 use pcn_types::{Amount, Payment, PaymentClass};
 
 /// The Spider waterfilling router.
@@ -18,23 +20,27 @@ use pcn_types::{Amount, Payment, PaymentClass};
 pub struct SpiderRouter {
     /// Number of edge-disjoint paths per payment (4 in the paper).
     pub num_paths: usize,
+    staleness: StalenessTracker,
 }
 
 impl Default for SpiderRouter {
     fn default() -> Self {
-        SpiderRouter { num_paths: 4 }
+        Self::new()
     }
 }
 
 impl SpiderRouter {
     /// Creates a Spider router with the paper's default of 4 paths.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_paths(4)
     }
 
     /// Creates a Spider router with a custom path count.
     pub fn with_paths(num_paths: usize) -> Self {
-        SpiderRouter { num_paths }
+        SpiderRouter {
+            num_paths,
+            staleness: StalenessTracker::default(),
+        }
     }
 }
 
@@ -102,6 +108,15 @@ impl<N: PaymentNetwork> Router<N> for SpiderRouter {
     }
 
     fn route(&mut self, net: &mut N, payment: &Payment, class: PaymentClass) -> RouteOutcome {
+        // Spider recomputes its disjoint paths per payment, so a
+        // tripped staleness threshold only notifies the backend (the
+        // fresh probe/flood below is the refresh).
+        if self
+            .staleness
+            .should_reprobe(payment.receiver, net.graph().edge_count())
+        {
+            net.note_reprobe();
+        }
         let paths: Vec<Path> = disjoint::edge_disjoint_paths(
             net.graph(),
             payment.sender,
@@ -118,7 +133,15 @@ impl<N: PaymentNetwork> Router<N> for SpiderRouter {
         let capacities: Vec<Amount> = net
             .probe_paths(&paths)
             .into_iter()
-            .map(|report| report.map_or(Amount::ZERO, |r| r.bottleneck()))
+            .map(|report| match report {
+                Some(r) => r.bottleneck(),
+                None => {
+                    // Lost probe: fault injection, a closed channel, or
+                    // a crashed node on the path.
+                    self.staleness.record_probe_loss(payment.receiver);
+                    Amount::ZERO
+                }
+            })
             .collect();
         let Some(alloc) = waterfill(&capacities, payment.amount) else {
             net.record_rejected_attempt(payment, class);
@@ -126,7 +149,8 @@ impl<N: PaymentNetwork> Router<N> for SpiderRouter {
         };
         let parts: Vec<(Path, Amount)> = paths.into_iter().zip(alloc).collect();
         let mut session = net.begin_payment(payment, class);
-        if session.try_send_parts(&parts).is_err() {
+        if let Err(e) = session.try_send_parts(&parts) {
+            self.staleness.record_failure(payment.receiver, e.cause);
             session.abort();
             return RouteOutcome::failure(FailureReason::InsufficientCapacity);
         }

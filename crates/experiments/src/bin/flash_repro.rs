@@ -30,7 +30,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!("usage: flash-repro [--quick] [--out DIR] [--fig figN]...");
-                eprintln!("figures: fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency");
+                eprintln!(
+                    "figures: fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency churn"
+                );
                 return;
             }
             other => {
@@ -43,7 +45,7 @@ fn main() {
     if figs.is_empty() {
         figs = [
             "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "latency",
+            "latency", "churn",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -66,6 +68,7 @@ fn main() {
             "fig12" => figures::fig12::run(effort),
             "fig13" => figures::fig13::run(effort),
             "latency" => figures::latency::run(effort),
+            "churn" => figures::churn::run(effort),
             other => {
                 eprintln!("unknown figure: {other}");
                 std::process::exit(2);

@@ -1,0 +1,147 @@
+//! Success and latency under topology churn (beyond the paper).
+//!
+//! The paper's simulator assumes a static channel graph, but §5.1's
+//! staleness discussion — probed state going bad between probe and
+//! commit — is exactly what topology churn produces at scale: channels
+//! close mid-payment, nodes crash while serving commits, balances
+//! deplete. This sweep drives all five schemes through `pcn_sim::des`
+//! with a seeded [`ChurnRate`] and plots, per churn intensity:
+//!
+//! * `churn_a` — success ratio;
+//! * `churn_b` — p95 completion latency (virtual ms).
+//!
+//! The sweep variable is the channel-close intensity (closes per
+//! virtual second across the network); node crashes and balance drains
+//! ride along at a tenth of it, and [`CHURN_DOWNTIME_SECS`] keeps
+//! everything that fails down for the rest of the run, so success must
+//! fall monotonically with the rate — the shape `bench_gate churn`
+//! enforces on the committed `BENCH_churn.json`.
+
+use crate::harness::{run_scheme_des, DesLoad, Effort, SimScheme, DEFAULT_MICE_FRACTION};
+use crate::report::{FigureResult, Series};
+use pcn_sim::{ChurnRate, LatencyModel, ServiceModel, SimTime};
+use pcn_workload::testbed_topology;
+use pcn_workload::trace::{generate_trace, TraceConfig};
+
+/// All five schemes, exactly as they run on the other two backends.
+pub const SCHEMES: [SimScheme; 5] = SimScheme::ALL;
+
+/// Per-hop propagation latency, matching the load sweep.
+pub const HOP_LATENCY_MS: u64 = 25;
+
+/// Per-node service time, matching the load sweep.
+pub const NODE_SERVICE_MS: u64 = 10;
+
+/// Offered load of the sweep (payments per virtual second) — fixed, so
+/// churn intensity is the only thing varying between points.
+pub const OFFERED_LOAD_PPS: f64 = 100.0;
+
+/// How long closed channels stay closed and crashed nodes stay down:
+/// longer than any run's horizon, so churn damage accumulates and the
+/// success-vs-churn curve is cleanly monotone.
+pub const CHURN_DOWNTIME_SECS: u64 = 3_600;
+
+/// The full churn mix at a given channel-close intensity: node crashes
+/// and balance drains ride along at a tenth of the close rate.
+pub fn churn_mix(closes_per_sec: f64) -> ChurnRate {
+    ChurnRate {
+        closes_per_sec,
+        node_downs_per_sec: closes_per_sec / 10.0,
+        drains_per_sec: closes_per_sec / 10.0,
+        downtime: SimTime::from_secs(CHURN_DOWNTIME_SECS),
+    }
+}
+
+/// Regenerates the churn sweep (`churn_a`, `churn_b`).
+pub fn run(effort: Effort) -> Vec<FigureResult> {
+    let (nodes, txns, rates): (usize, usize, &[f64]) = match effort {
+        Effort::Quick => (60, 150, &[0.0, 20.0, 80.0]),
+        Effort::Paper => (200, 600, &[0.0, 10.0, 40.0, 160.0]),
+    };
+    let mut fig_ratio = FigureResult::new(
+        "churn_a",
+        format!("Success ratio vs churn rate (DES, {nodes}-node testbed topology)"),
+        "channel closes per virtual second",
+        "success ratio (%)",
+    );
+    let mut fig_p95 = FigureResult::new(
+        "churn_b",
+        format!("p95 completion latency vs churn rate (DES, {nodes}-node testbed topology)"),
+        "channel closes per virtual second",
+        "p95 completion latency (virtual ms)",
+    );
+    let seed = 97;
+    let net = testbed_topology(nodes, 1000, 1500, seed);
+    let trace = generate_trace(net.graph(), &TraceConfig::ripple(txns, seed + 7));
+    for scheme in SCHEMES {
+        let mut s_ratio = Series::new(scheme.label());
+        let mut s_p95 = Series::new(scheme.label());
+        for &rate in rates {
+            let report = run_scheme_des(
+                &net,
+                scheme,
+                &trace,
+                DEFAULT_MICE_FRACTION,
+                seed + 31,
+                DesLoad {
+                    rate_per_sec: OFFERED_LOAD_PPS,
+                    latency: LatencyModel::constant_ms(HOP_LATENCY_MS),
+                    service: ServiceModel::constant_ms(NODE_SERVICE_MS),
+                    churn: churn_mix(rate),
+                },
+            );
+            s_ratio.push(rate, report.metrics.success_ratio() * 100.0);
+            s_p95.push(rate, report.latency_ms(0.95));
+        }
+        fig_ratio.series.push(s_ratio);
+        fig_p95.series.push(s_p95);
+    }
+    vec![fig_ratio, fig_p95]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_schemes_and_rates() {
+        let figs = run(Effort::Quick);
+        assert_eq!(figs.len(), 2);
+        for fig in &figs {
+            assert_eq!(fig.series.len(), SCHEMES.len());
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 3, "{}: {}", fig.id, s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_degrades_success() {
+        // The tentpole's end-to-end claim: topology churn must cost
+        // every scheme success. The committed BENCH_churn.json pins
+        // strict monotonicity; here the cheaper quick sweep checks the
+        // endpoints.
+        let figs = run(Effort::Quick);
+        let ratio = figs.iter().find(|f| f.id == "churn_a").unwrap();
+        for s in &ratio.series {
+            let zero = s.points.first().unwrap().1;
+            let max = s.points.last().unwrap().1;
+            assert!(
+                max < zero,
+                "{}: success at max churn ({max}%) must fall below zero-churn ({zero}%)",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run(Effort::Quick);
+        let b = run(Effort::Quick);
+        for (fa, fb) in a.iter().zip(&b) {
+            for (sa, sb) in fa.series.iter().zip(&fb.series) {
+                assert_eq!(sa.points, sb.points, "{} {}", fa.id, sa.label);
+            }
+        }
+    }
+}

@@ -31,7 +31,7 @@
 
 use crate::harness::{run_scheme_des, DesLoad, Effort, SimScheme, DEFAULT_MICE_FRACTION};
 use crate::report::{FigureResult, Series};
-use pcn_sim::{LatencyModel, ServiceModel};
+use pcn_sim::{ChurnRate, LatencyModel, ServiceModel};
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
 
@@ -100,6 +100,7 @@ pub fn run(effort: Effort) -> Vec<FigureResult> {
                     rate_per_sec: load,
                     latency: LatencyModel::constant_ms(HOP_LATENCY_MS),
                     service: ServiceModel::constant_ms(NODE_SERVICE_MS),
+                    churn: ChurnRate::zero(),
                 },
             );
             s_ratio.push(load, report.metrics.success_ratio() * 100.0);

@@ -1,5 +1,7 @@
-//! One module per paper figure, plus the DES load sweep ([`latency`]).
+//! One module per paper figure, plus the DES load sweep ([`latency`])
+//! and the DES churn sweep ([`churn`]).
 
+pub mod churn;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

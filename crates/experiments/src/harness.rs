@@ -8,8 +8,8 @@ use flash_core::{
 use pcn_graph::generators;
 use pcn_graph::maxflow::{Dinic, MaxFlowSolver};
 use pcn_sim::{
-    DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, Metrics, Network, PaymentNetwork,
-    Router, ServiceModel,
+    ChurnRate, DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, Metrics, Network,
+    PaymentNetwork, Router, ServiceModel, SimTime,
 };
 use pcn_types::{Amount, FeePolicy, NodeId, Payment};
 use pcn_workload::trace::{generate_trace, TraceConfig};
@@ -243,7 +243,16 @@ pub struct DesLoad {
     /// Per-node message service time (FIFO queueing behind the
     /// backlog; [`ServiceModel::Instant`] disables queueing).
     pub service: ServiceModel,
+    /// Topology-churn intensities. [`ChurnRate::zero`] (the common
+    /// case) generates the empty schedule, keeping the run
+    /// bit-identical to a churn-free engine.
+    pub churn: ChurnRate,
 }
+
+/// Seed salt for the churn process, so churn draws never share a
+/// stream with the Poisson arrival process seeded from the same run
+/// seed.
+const CHURN_SEED_SALT: u64 = 0x6368_7572_6e5f_7631; // "churn_v1"
 
 /// Runs one scheme over a trace on the discrete-event engine: payments
 /// arrive from a seeded Poisson process at `load.rate_per_sec`
@@ -265,13 +274,19 @@ pub fn run_scheme_des(
     let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
     let threshold = threshold_for_mice_fraction(&amounts, mice_fraction);
     let workload = pcn_workload::arrivals::poisson_workload(trace, load.rate_per_sec, seed);
+    // Churn runs over the arrival window; reopens past the horizon
+    // fire during the final drain without extending the makespan.
+    let horizon = workload.last().map(|&(t, _)| t).unwrap_or(SimTime::ZERO);
+    let churn =
+        pcn_workload::churn_schedule(net.graph(), horizon, &load.churn, seed ^ CHURN_SEED_SALT);
     let mut router = scheme.router_on::<DesNetwork>(threshold, seed);
     let mut engine = DesEngine::new(
         net.clone(),
         DesConfig {
             latency: load.latency,
             service: load.service,
-            check_conservation: false,
+            churn,
+            ..DesConfig::default()
         },
     );
     engine.run(router.as_mut(), &workload, threshold)

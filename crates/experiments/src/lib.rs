@@ -37,5 +37,6 @@ pub fn run_all(effort: Effort) -> Vec<FigureResult> {
     out.extend(figures::fig12::run(effort));
     out.extend(figures::fig13::run(effort));
     out.extend(figures::latency::run(effort));
+    out.extend(figures::churn::run(effort));
     out
 }

@@ -27,7 +27,8 @@
 use crate::cluster::Cluster;
 use pcn_graph::{DiGraph, Path};
 use pcn_sim::{
-    ChannelInfo, PartFailure, PaymentNetwork, PaymentSession, ProbeReport, RouteOutcome,
+    ChannelInfo, FailureCause, PartFailure, PaymentNetwork, PaymentSession, ProbeReport,
+    RouteOutcome,
 };
 use pcn_types::{Amount, Payment, PaymentClass};
 
@@ -167,8 +168,10 @@ impl PaymentSession for ClusterSession<'_> {
             }
             Err(failed_hop) => Err(PartFailure {
                 failed_hop,
-                // The COMMIT_NACK carries no balance field.
+                // The COMMIT_NACK carries no balance field and no
+                // failure-cause code.
                 available: Amount::ZERO,
+                cause: FailureCause::Unreported,
             }),
         }
     }
@@ -203,6 +206,7 @@ impl PaymentSession for ClusterSession<'_> {
                         first_failure = Some(PartFailure {
                             failed_hop,
                             available: Amount::ZERO,
+                            cause: FailureCause::Unreported,
                         });
                     }
                 }

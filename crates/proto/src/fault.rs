@@ -14,6 +14,7 @@
 //! explicitly leave out of scope.
 
 use parking_lot::Mutex;
+use pcn_sim::FaultConfig;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +51,16 @@ impl FaultPlan {
                 dropped: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Builds a wire-level plan from the simulators' shared fault
+    /// surface ([`pcn_sim::FaultConfig`], also the DES backend's
+    /// `DesConfig::faults`): `probe_drop_prob` becomes the outbound
+    /// message-drop probability under the same seed. Probe *noise* has
+    /// no transport equivalent — the wire carries real balances — so
+    /// `probe_noise_ppm` is ignored here.
+    pub fn from_fault_config(config: &FaultConfig) -> Self {
+        Self::with_drop_prob(config.probe_drop_prob, config.seed)
     }
 
     /// Whether faults are active at all.
@@ -105,6 +116,19 @@ mod tests {
         let f = FaultPlan::with_drop_prob(0.3, 7);
         let drops = (0..10_000).filter(|_| f.should_drop()).count();
         assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn shares_the_sim_fault_surface() {
+        assert!(!FaultPlan::from_fault_config(&FaultConfig::none()).enabled());
+        let shared = FaultConfig {
+            probe_drop_prob: 1.0,
+            seed: 11,
+            ..FaultConfig::none()
+        };
+        let f = FaultPlan::from_fault_config(&shared);
+        assert!(f.enabled());
+        assert!(f.should_drop());
     }
 
     #[test]

@@ -28,8 +28,8 @@
 //! ```
 //! use pcn_graph::{DiGraph, Path};
 //! use pcn_sim::{
-//!     ChannelInfo, FailureReason, PartFailure, PaymentNetwork, PaymentSession, ProbeReport,
-//!     RouteOutcome, Router,
+//!     ChannelInfo, FailureCause, FailureReason, PartFailure, PaymentNetwork, PaymentSession,
+//!     ProbeReport, RouteOutcome, Router,
 //! };
 //! use pcn_types::{Amount, FeePolicy, NodeId, Payment, PaymentClass, TxId};
 //!
@@ -85,6 +85,7 @@
 //!                 return Err(PartFailure {
 //!                     failed_hop: 0,
 //!                     available: Amount::ZERO,
+//!                     cause: FailureCause::MissingChannel,
 //!                 });
 //!             }
 //!         }
@@ -143,6 +144,38 @@ use crate::{FailureReason, ProbeReport, RouteOutcome};
 use pcn_graph::{DiGraph, Path};
 use pcn_types::{Amount, Payment, PaymentClass};
 
+/// Why one hop NACKed a commit attempt — the signal the staleness
+/// layer ([`StalenessTracker`](crate::StalenessTracker)) classifies
+/// failures by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The hop's channel existed and was open but held less than the
+    /// part's amount — ordinary contention, *not* evidence of stale
+    /// topology knowledge.
+    InsufficientBalance,
+    /// The path names a channel the topology never had.
+    MissingChannel,
+    /// The hop's channel has been closed since the sender learned the
+    /// path (topology churn — see [`des::churn`](crate::des::churn)).
+    ChannelClosed,
+    /// The hop's node is down and NACKed the message (topology churn).
+    NodeDown,
+    /// The backend's wire protocol reports no cause (the prototype's
+    /// `COMMIT_NACK` carries none).
+    Unreported,
+}
+
+impl FailureCause {
+    /// Whether the cause indicates *stale topology knowledge* (a
+    /// closed channel or crashed node) rather than ordinary balance
+    /// contention. Only stale causes feed re-probe thresholds — an
+    /// `InsufficientBalance` NACK must never trigger a topology
+    /// refresh, or zero-churn runs would change behavior.
+    pub fn is_stale(self) -> bool {
+        matches!(self, FailureCause::ChannelClosed | FailureCause::NodeDown)
+    }
+}
+
 /// One hop-failure during a commit attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PartFailure {
@@ -152,6 +185,9 @@ pub struct PartFailure {
     /// backends whose wire protocol does not report it (the prototype's
     /// `COMMIT_NACK` carries no balance field) leave it at zero.
     pub available: Amount,
+    /// Why the hop NACKed, best effort: backends whose wire protocol
+    /// reports no cause use [`FailureCause::Unreported`].
+    pub cause: FailureCause,
 }
 
 /// An in-flight atomic multi-path payment — the AMP guarantee of §3.1
@@ -287,4 +323,12 @@ pub trait PaymentNetwork {
     fn record_rejected_attempt(&mut self, payment: &Payment, class: PaymentClass) {
         self.begin_payment(payment, class).abort();
     }
+
+    /// Notifies the backend that the router's staleness layer tripped
+    /// a re-probe threshold and is about to refresh its topology
+    /// knowledge (fresh probe/flood instead of retrying a dead path —
+    /// see [`ReprobePolicy`](crate::ReprobePolicy)). Default: no-op.
+    /// The DES backend counts these into
+    /// [`DesReport::reprobes_triggered`](crate::DesReport).
+    fn note_reprobe(&mut self) {}
 }

@@ -48,6 +48,18 @@ pub struct DesReport {
     /// default.
     #[serde(default)]
     pub max_node_utilization: f64,
+    /// Churn: close events applied to channels that were open
+    /// ([`DesNetwork::closed_channels`]). Zero without a schedule.
+    #[serde(default)]
+    pub closed_channels: u64,
+    /// Churn: probes bounced mid-walk by a closed channel or a down
+    /// node ([`DesNetwork::stale_probe_failures`]).
+    #[serde(default)]
+    pub stale_probe_failures: u64,
+    /// Times a router crossed its staleness threshold and refreshed its
+    /// topology knowledge ([`DesNetwork::reprobes_triggered`]).
+    #[serde(default)]
+    pub reprobes_triggered: u64,
 }
 
 impl DesReport {
@@ -151,6 +163,9 @@ impl DesEngine {
             throughput_pps,
             peak_backlog: self.net.service_queues().peak_backlog(),
             max_node_utilization: self.net.service_queues().max_utilization(makespan),
+            closed_channels: self.net.closed_channels(),
+            stale_probe_failures: self.net.stale_probe_failures(),
+            reprobes_triggered: self.net.reprobes_triggered(),
         }
     }
 }
@@ -211,8 +226,8 @@ mod tests {
     fn config() -> DesConfig {
         DesConfig {
             latency: LatencyModel::constant_ms(10),
-            service: ServiceModel::Instant,
             check_conservation: true,
+            ..DesConfig::default()
         }
     }
 
@@ -287,6 +302,7 @@ mod tests {
                     latency: LatencyModel::constant_ms(10),
                     service: ServiceModel::constant_ms(8),
                     check_conservation: true,
+                    ..DesConfig::default()
                 },
             );
             engine.run(&mut LineRouter, &workload(gap_ms, 8, 1), Amount::MAX)
@@ -323,6 +339,32 @@ mod tests {
         assert_eq!(report.peak_backlog, 0);
         assert_eq!(report.max_node_utilization, 0.0);
         assert_eq!(report.metrics.queue_delay.count(), 0);
+    }
+
+    #[test]
+    fn old_report_json_still_parses() {
+        // Growth hygiene: every field added to DesReport after the
+        // seed is #[serde(default)], so committed bench artifacts from
+        // older PRs keep parsing. Reconstruct the older shapes by
+        // truncating the serialized report at the first field each PR
+        // introduced (serialization follows declaration order).
+        let mut engine = DesEngine::new(line_net(), config());
+        let report = engine.run(&mut LineRouter, &workload(1000, 3, 2), Amount::MAX);
+        let json = serde_json::to_string(&report).unwrap();
+        for first_new_field in [",\"peak_backlog\"", ",\"closed_channels\""] {
+            let cut = json
+                .find(first_new_field)
+                .expect("report fields must keep declaration order");
+            let old = format!("{}}}", &json[..cut]);
+            let parsed: DesReport = serde_json::from_str(&old)
+                .unwrap_or_else(|e| panic!("old report JSON must parse: {e}"));
+            assert_eq!(parsed.metrics, report.metrics);
+            assert_eq!(parsed.makespan, report.makespan);
+            assert_eq!(parsed.events, report.events);
+            assert_eq!(parsed.closed_channels, 0);
+            assert_eq!(parsed.stale_probe_failures, 0);
+            assert_eq!(parsed.reprobes_triggered, 0);
+        }
     }
 
     #[test]

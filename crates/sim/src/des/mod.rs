@@ -31,6 +31,13 @@
 //!   workload (`pcn_workload::arrivals` builds Poisson and
 //!   trace-replay arrival processes) and reports completion-latency
 //!   percentiles, peak in-flight, and throughput in [`DesReport`].
+//! * [`churn`] — deterministic topology dynamics: a declarative
+//!   [`ChurnSchedule`] of channel close/reopen, node crash/recovery,
+//!   and balance-drain events, admitted into the same `(time, seq)`
+//!   event order and applied mid-run. Schedule generation is
+//!   per-schedule seeded (`pcn_workload::churn_schedule`); an empty
+//!   schedule leaves the engine bit-identical to a churn-free build
+//!   (see the [`churn`] module docs for the invariants).
 //!
 //! # Determinism invariants
 //!
@@ -59,6 +66,7 @@
 //! (topology seed, workload seed, model parameters): running it twice
 //! — on one machine or two — produces byte-identical [`DesReport`]s.
 
+pub mod churn;
 pub mod engine;
 pub mod latency;
 pub mod network;
@@ -66,6 +74,7 @@ pub mod node;
 pub mod queue;
 pub mod time;
 
+pub use churn::{ChurnAction, ChurnEvent, ChurnRate, ChurnSchedule};
 pub use engine::{DesEngine, DesReport};
 pub use latency::LatencyModel;
 pub use network::{DesConfig, DesNetwork, DesSession};

@@ -61,11 +61,12 @@
 //! making the backend behaviorally identical to [`Network`] (the parity
 //! tests assert this).
 
+use super::churn::{ChurnAction, ChurnSchedule};
 use super::latency::LatencyModel;
 use super::node::{ServiceModel, ServiceQueues};
 use super::queue::EventQueue;
 use super::time::SimTime;
-use crate::backend::{PartFailure, PaymentNetwork, PaymentSession};
+use crate::backend::{FailureCause, PartFailure, PaymentNetwork, PaymentSession};
 use crate::{FaultConfig, Metrics, Network, ProbeReport, RouteOutcome};
 use pcn_graph::{DiGraph, EdgeId, Path};
 use pcn_types::{Amount, NodeId, Payment, PaymentClass};
@@ -80,6 +81,18 @@ pub struct DesConfig {
     /// the backlog. The default ([`ServiceModel::Instant`]) disables
     /// queueing and reproduces the propagation-only engine exactly.
     pub service: ServiceModel,
+    /// Fault injection (probe loss / probe noise) applied to the
+    /// wrapped network's probe path — the same [`FaultConfig`] surface
+    /// the sequential simulator uses. The default
+    /// ([`FaultConfig::none`]) installs nothing, leaving the wrapped
+    /// network's fault state (and its RNG stream) untouched.
+    pub faults: FaultConfig,
+    /// Deterministic topology dynamics applied mid-run (see
+    /// [`churn`](super::churn)). Events are admitted into the engine's
+    /// `(time, seq)` event order at construction, in declared order;
+    /// the default empty schedule admits nothing and keeps the run
+    /// bit-identical to a churn-free engine.
+    pub churn: ChurnSchedule,
     /// Assert funds conservation (balances + escrow + settled-out funds
     /// = initial total) and service-backlog conservation after
     /// **every** applied event. O(edges + nodes) per event — enable in
@@ -92,6 +105,8 @@ impl Default for DesConfig {
         DesConfig {
             latency: LatencyModel::constant_ms(10),
             service: ServiceModel::Instant,
+            faults: FaultConfig::none(),
+            churn: ChurnSchedule::none(),
             check_conservation: false,
         }
     }
@@ -107,6 +122,11 @@ enum Settle {
     Credit { edge: EdgeId, amount: Amount },
     /// A payment's final settlement landed: it is no longer in flight.
     Done,
+    /// A scheduled topology mutation (see [`churn`](super::churn)).
+    /// Unlike settlement events, churn never extends the run's horizon:
+    /// a reopen scheduled past the last settlement must not stretch the
+    /// makespan.
+    Churn(ChurnAction),
 }
 
 /// The discrete-event [`PaymentNetwork`] backend. See the module docs
@@ -133,7 +153,23 @@ pub struct DesNetwork {
     in_flight: u64,
     peak_in_flight: u64,
     /// Latest fire time ever scheduled or applied — the run's makespan.
+    /// Churn events are excluded: topology mutations do not extend a
+    /// run, only the settlement traffic does.
     horizon: SimTime,
+    /// Edge-indexed closed flags (both directions of a closed channel
+    /// are flagged). Balances of a closed channel stay frozen in the
+    /// balance vector, so conservation holds trivially.
+    closed: Vec<bool>,
+    /// Node-indexed crashed flags: a down node NACKs everything it
+    /// would service.
+    down: Vec<bool>,
+    /// Close events applied to channels that were open.
+    closed_channels: u64,
+    /// Probes bounced by a closed channel or a down node mid-walk.
+    stale_probe_failures: u64,
+    /// Times a router reported consuming stale evidence and refreshing
+    /// its topology knowledge ([`PaymentNetwork::note_reprobe`]).
+    reprobes_triggered: u64,
     /// Scratch buffer for [`DesNetwork::probe_path`]'s per-hop edge
     /// list, reused across probes so the hot path allocates nothing
     /// per probe.
@@ -147,14 +183,34 @@ pub struct DesNetwork {
 impl DesNetwork {
     /// Wraps a network in the discrete-event backend, starting the
     /// virtual clock at [`SimTime::ZERO`].
-    pub fn new(inner: Network, config: DesConfig) -> Self {
+    ///
+    /// The churn schedule (if any) is admitted into the event queue
+    /// here, in declared order, so its events share the engine's
+    /// `(time, seq)` total order with every settlement wave. Installing
+    /// the empty schedule schedules nothing, draws no randomness, and
+    /// advances no message tick. Fault injection is installed only when
+    /// [`FaultConfig::enabled`], so a disabled config leaves the
+    /// wrapped network's fault RNG stream untouched.
+    pub fn new(mut inner: Network, config: DesConfig) -> Self {
         let initial_total = inner.total_funds().micros() as u128;
         let service = ServiceQueues::new(config.service, inner.graph().node_count());
+        if config.faults.enabled() {
+            inner.set_faults(config.faults);
+        }
+        let mut queue = EventQueue::new();
+        for ev in config.churn.events() {
+            // Deliberately not via `schedule()`: churn must not touch
+            // the horizon (it would stretch the makespan of runs whose
+            // schedule outlives their traffic).
+            queue.schedule(ev.at, Settle::Churn(ev.action));
+        }
+        let closed = vec![false; inner.graph().edge_count()];
+        let down = vec![false; inner.graph().node_count()];
         DesNetwork {
             inner,
             latency: config.latency,
             service,
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             msg_tick: 0,
             escrow: 0,
@@ -164,6 +220,11 @@ impl DesNetwork {
             in_flight: 0,
             peak_in_flight: 0,
             horizon: SimTime::ZERO,
+            closed,
+            down,
+            closed_channels: 0,
+            stale_probe_failures: 0,
+            reprobes_triggered: 0,
             probe_scratch: Vec::new(),
             edge_pool: Vec::new(),
         }
@@ -204,9 +265,91 @@ impl DesNetwork {
         self.peak_in_flight
     }
 
-    /// Settlement events applied so far.
+    /// Settlement and churn events applied so far.
     pub fn events_delivered(&self) -> u64 {
         self.queue.delivered()
+    }
+
+    /// Close events applied to channels that were open at the time.
+    pub fn closed_channels(&self) -> u64 {
+        self.closed_channels
+    }
+
+    /// Probes bounced mid-walk by a closed channel or a down node —
+    /// the router's cached path was stale.
+    pub fn stale_probe_failures(&self) -> u64 {
+        self.stale_probe_failures
+    }
+
+    /// Times a router crossed its staleness threshold and refreshed
+    /// its topology knowledge ([`PaymentNetwork::note_reprobe`]).
+    pub fn reprobes_triggered(&self) -> u64 {
+        self.reprobes_triggered
+    }
+
+    /// Whether `edge` belongs to a currently closed channel.
+    fn edge_closed(&self, edge: EdgeId) -> bool {
+        self.closed.get(edge.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `node` is currently crashed.
+    fn node_down(&self, node: NodeId) -> bool {
+        self.down.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Flags or unflags both directions of `edge`'s channel.
+    fn set_channel_closed(&mut self, edge: EdgeId, val: bool) {
+        if let Some(flag) = self.closed.get_mut(edge.0 as usize) {
+            *flag = val;
+        }
+        if let Some(rev) = self.inner.graph().reverse_edge(edge) {
+            if let Some(flag) = self.closed.get_mut(rev.0 as usize) {
+                *flag = val;
+            }
+        }
+    }
+
+    /// Applies one topology mutation. Freeze semantics: a closed
+    /// channel's balances stay in the balance vector (conservation
+    /// holds trivially) and resurface on reopen; in-flight settlement
+    /// waves land harmlessly on frozen balances. Draining moves funds
+    /// to the reverse direction, or out of the channel system when the
+    /// direction is unidirectional.
+    // pcn-lint: hot — fires inside the drain loop, once per churn event
+    fn apply_churn(&mut self, action: ChurnAction) {
+        match action {
+            ChurnAction::ChannelClose(edge) => {
+                if !self.edge_closed(edge) {
+                    self.closed_channels += 1;
+                    self.set_channel_closed(edge, true);
+                }
+            }
+            ChurnAction::ChannelReopen(edge) => self.set_channel_closed(edge, false),
+            ChurnAction::NodeDown(node) => {
+                if let Some(flag) = self.down.get_mut(node.0 as usize) {
+                    *flag = true;
+                }
+            }
+            ChurnAction::NodeUp(node) => {
+                if let Some(flag) = self.down.get_mut(node.0 as usize) {
+                    *flag = false;
+                }
+            }
+            ChurnAction::BalanceDrain { edge, amount } => {
+                let bal = self.inner.balance(edge);
+                let moved = bal.min(amount);
+                if !moved.is_zero() {
+                    self.inner.set_balance(edge, bal.saturating_sub(moved));
+                    match self.inner.graph().reverse_edge(edge) {
+                        Some(rev) => {
+                            let rbal = self.inner.balance(rev).saturating_add(moved);
+                            self.inner.set_balance(rev, rbal);
+                        }
+                        None => self.exited += moved.micros() as u128,
+                    }
+                }
+            }
+        }
     }
 
     /// The latest virtual time any event was scheduled or applied — the
@@ -267,8 +410,11 @@ impl DesNetwork {
     }
 
     fn apply(&mut self, fire: SimTime, settle: Settle) {
-        self.horizon = self.horizon.max(fire);
+        if !matches!(settle, Settle::Churn(_)) {
+            self.horizon = self.horizon.max(fire);
+        }
         match settle {
+            Settle::Churn(action) => self.apply_churn(action),
             Settle::Restore { edge, amount } => {
                 self.escrow -= amount.micros() as u128;
                 let bal = self.inner.balance(edge).saturating_add(amount);
@@ -358,9 +504,35 @@ impl PaymentNetwork for DesNetwork {
         edges.extend(path.channels().map(|(u, v)| self.inner.graph().edge(u, v)));
         let mut t = self.now;
         // Out: hop i crosses channel i, then nodes[i + 1] services it.
+        // Settlement *and churn* events up to each node's finish
+        // instant are drained before the walk continues, so a channel
+        // that closed (or a node that crashed) mid-walk bounces the
+        // probe. Per-hop draining is order-equivalent to the old
+        // drain-at-snapshot: events apply in the same `(time, seq)`
+        // order either way, and delivery reads no balances.
+        let mut blocked_at = None;
         for (i, e) in edges.iter().enumerate() {
             t += self.hop_delay(*e);
             t = self.deliver(nodes[i + 1], t);
+            self.drain_until(t);
+            if self.node_down(nodes[i + 1]) || matches!(e, Some(e) if self.edge_closed(*e)) {
+                blocked_at = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = blocked_at {
+            // The probe dies at hop i: a NACK retraces the traversed
+            // prefix, serviced by each upstream node down to the
+            // sender. The i + 1 outbound messages are still metered.
+            for j in (0..=i).rev() {
+                t += self.hop_delay(edges[j]);
+                t = self.deliver(nodes[j], t);
+            }
+            self.inner.metrics_mut().probe_messages += (i + 1) as u64;
+            self.stale_probe_failures += 1;
+            self.probe_scratch = edges;
+            self.now = t;
+            return None;
         }
         let snapshot_at = t;
         // Back: the ACK retraces, serviced by each upstream node down
@@ -374,6 +546,10 @@ impl PaymentNetwork for DesNetwork {
         let report = self.inner.probe_path(path);
         self.now = t;
         report
+    }
+
+    fn note_reprobe(&mut self) {
+        self.reprobes_triggered += 1;
     }
 
     fn begin_payment(&mut self, payment: &Payment, class: PaymentClass) -> DesSession<'_> {
@@ -483,21 +659,34 @@ impl PaymentSession for DesSession<'_> {
             t = self.net.deliver(v, t);
             self.net.drain_until(t);
             self.net.inner.metrics_mut().commit_messages += 1;
-            let available = match edge {
-                Some(e) => {
-                    let bal = self.net.inner.balance(e);
-                    if bal >= amount {
-                        self.net.inner.set_balance(e, bal.saturating_sub(amount));
-                        self.net.escrow += amount.micros() as u128;
-                        debited.push(e);
-                        continue;
+            // Churn first: a crashed node NACKs everything it would
+            // service, and a closed channel refuses the COMMIT — both
+            // before any balance is consulted. Zero churn leaves both
+            // flags false everywhere, so the flow is unchanged.
+            let (available, cause) = if self.net.node_down(v) {
+                (Amount::ZERO, FailureCause::NodeDown)
+            } else {
+                match edge {
+                    Some(e) if self.net.edge_closed(e) => {
+                        (Amount::ZERO, FailureCause::ChannelClosed)
                     }
-                    bal
+                    Some(e) => {
+                        let bal = self.net.inner.balance(e);
+                        if bal >= amount {
+                            self.net.inner.set_balance(e, bal.saturating_sub(amount));
+                            self.net.escrow += amount.micros() as u128;
+                            debited.push(e);
+                            continue;
+                        }
+                        (bal, FailureCause::InsufficientBalance)
+                    }
+                    None => (Amount::ZERO, FailureCause::MissingChannel),
                 }
-                None => Amount::ZERO,
             };
             // NACK back to the sender, releasing escrow as each
-            // upstream node services the retracing message.
+            // upstream node services the retracing message — the
+            // REVERSE wave that also fails in-flight escrow when a
+            // channel closes under a COMMIT.
             for &d in debited.iter().rev() {
                 let (up, _) = self.net.inner.graph().endpoints(d);
                 t += self.net.hop_delay(Some(d));
@@ -510,6 +699,7 @@ impl PaymentSession for DesSession<'_> {
             return Err(PartFailure {
                 failed_hop: hop,
                 available,
+                cause,
             });
         }
         // ACK retraces the path to the sender; escrow is held.
@@ -616,6 +806,19 @@ mod tests {
                 latency: LatencyModel::constant_ms(latency_ms),
                 service,
                 check_conservation: true,
+                ..DesConfig::default()
+            },
+        )
+    }
+
+    fn des_with_churn(latency_ms: u64, churn: ChurnSchedule) -> DesNetwork {
+        DesNetwork::new(
+            line_net(),
+            DesConfig {
+                latency: LatencyModel::constant_ms(latency_ms),
+                churn,
+                check_conservation: true,
+                ..DesConfig::default()
             },
         )
     }
@@ -673,8 +876,8 @@ mod tests {
             inner,
             DesConfig {
                 latency: LatencyModel::constant_ms(10),
-                service: ServiceModel::Instant,
                 check_conservation: true,
+                ..DesConfig::default()
             },
         );
         let p = payment(5);
@@ -684,6 +887,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.failed_hop, 1);
         assert_eq!(err.available, Amount::from_units(2));
+        assert_eq!(err.cause, FailureCause::InsufficientBalance);
         s.abort();
         // 2 hops forward + 1 hop NACK back = 30ms on the sender clock.
         assert_eq!(net.now(), SimTime::from_millis(30));
@@ -836,8 +1040,8 @@ mod tests {
             line_net(),
             DesConfig {
                 latency: LatencyModel::instant(),
-                service: ServiceModel::Instant,
                 check_conservation: true,
+                ..DesConfig::default()
             },
         );
         let mut plain = line_net();
@@ -862,6 +1066,154 @@ mod tests {
         let des_inner = des_net.into_inner();
         for (e, _, _) in plain.graph().edges() {
             assert_eq!(des_inner.balance(e), plain.balance(e));
+        }
+    }
+
+    #[test]
+    fn mid_run_close_nacks_commit_and_releases_escrow() {
+        // The middle channel closes at 15ms — after hop 0's COMMIT is
+        // escrowed (10ms) but before hop 1's arrives (20ms). The COMMIT
+        // must NACK with ChannelClosed and hop 0's escrow must come
+        // back over the REVERSE wave.
+        let mid = line_net().graph().edge(n(1), n(2)).unwrap();
+        let mut schedule = ChurnSchedule::none();
+        schedule.push(SimTime::from_millis(15), ChurnAction::ChannelClose(mid));
+        let mut net = des_with_churn(10, schedule);
+        let p = payment(5);
+        let mut s = net.begin_payment(&p, PaymentClass::Mice);
+        let err = s
+            .try_send_part(&path_0123(), Amount::from_units(5))
+            .unwrap_err();
+        assert_eq!(err.failed_hop, 1);
+        assert_eq!(err.cause, FailureCause::ChannelClosed);
+        assert!(err.cause.is_stale());
+        s.abort();
+        assert_eq!(net.closed_channels(), 1);
+        net.drain_all();
+        assert_eq!(net.escrow_micros(), 0);
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+        let first = net.graph().edge(n(0), n(1)).unwrap();
+        assert_eq!(net.into_inner().balance(first), Amount::from_units(10));
+    }
+
+    #[test]
+    fn down_node_bounces_probes_and_commits_until_up() {
+        let mut schedule = ChurnSchedule::none();
+        schedule.push(SimTime::ZERO, ChurnAction::NodeDown(n(2)));
+        schedule.push(SimTime::from_secs(1), ChurnAction::NodeUp(n(2)));
+        let mut net = des_with_churn(10, schedule);
+        // The probe reaches node 2 (2 hops, 20ms), finds it down, and
+        // the NACK retraces the same 2 hops: sender clock lands at 40ms.
+        assert!(net.probe_path(&path_0123()).is_none());
+        assert_eq!(net.now(), SimTime::from_millis(40));
+        assert_eq!(net.stale_probe_failures(), 1);
+        assert_eq!(net.metrics().probe_messages, 2);
+        // A commit attempt dies at the same node with a stale cause.
+        let p = payment(3);
+        let mut s = net.begin_payment(&p, PaymentClass::Mice);
+        let err = s
+            .try_send_part(&path_0123(), Amount::from_units(3))
+            .unwrap_err();
+        assert_eq!(err.cause, FailureCause::NodeDown);
+        s.abort();
+        // After recovery everything flows again.
+        net.advance_to(SimTime::from_secs(2));
+        let report = net.probe_path(&path_0123()).unwrap();
+        assert_eq!(report.bottleneck(), Amount::from_units(10));
+        net.drain_all();
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+    }
+
+    #[test]
+    fn reopen_resurfaces_frozen_funds() {
+        let first = line_net().graph().edge(n(0), n(1)).unwrap();
+        let mut schedule = ChurnSchedule::none();
+        schedule.push(SimTime::ZERO, ChurnAction::ChannelClose(first));
+        schedule.push(SimTime::from_millis(30), ChurnAction::ChannelReopen(first));
+        let mut net = des_with_churn(10, schedule);
+        // Closed: the probe bounces at hop 0 (out 10ms + back 10ms).
+        assert!(net.probe_path(&path_0123()).is_none());
+        assert_eq!(net.now(), SimTime::from_millis(20));
+        // Reopened: the frozen balances resurface untouched.
+        net.advance_to(SimTime::from_millis(50));
+        let report = net.probe_path(&path_0123()).unwrap();
+        assert_eq!(report.bottleneck(), Amount::from_units(10));
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+    }
+
+    #[test]
+    fn balance_drain_depletes_a_direction_and_conserves() {
+        let first = line_net().graph().edge(n(0), n(1)).unwrap();
+        let mut schedule = ChurnSchedule::none();
+        schedule.push(
+            SimTime::from_millis(1),
+            ChurnAction::BalanceDrain {
+                edge: first,
+                // More than the balance: the drain clamps to 10.
+                amount: Amount::from_units(25),
+            },
+        );
+        let mut net = des_with_churn(10, schedule);
+        net.advance_to(SimTime::from_millis(5));
+        let rev = net.graph().edge(n(1), n(0)).unwrap();
+        assert_eq!(net.conserved_total_micros(), net.initial_total_micros());
+        let inner = net.into_inner();
+        assert_eq!(inner.balance(first), Amount::ZERO);
+        assert_eq!(inner.balance(rev), Amount::from_units(20));
+    }
+
+    #[test]
+    fn trailing_churn_never_extends_the_makespan() {
+        // A close/reopen pair scheduled an hour past the traffic must
+        // not stretch the horizon (= makespan) by one microsecond.
+        let run = |churn: ChurnSchedule| {
+            let mut net = des_with_churn(10, churn);
+            let p = payment(4);
+            let mut s = net.begin_payment(&p, PaymentClass::Mice);
+            s.try_send_part(&path_0123(), Amount::from_units(4))
+                .unwrap();
+            assert!(s.commit().is_success());
+            net.drain_all();
+            net.horizon()
+        };
+        let quiet = run(ChurnSchedule::none());
+        let mid = line_net().graph().edge(n(1), n(2)).unwrap();
+        let mut late = ChurnSchedule::none();
+        late.push(SimTime::from_secs(3600), ChurnAction::ChannelClose(mid));
+        late.push(SimTime::from_secs(7200), ChurnAction::ChannelReopen(mid));
+        assert_eq!(run(late), quiet);
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_default_config() {
+        // ChurnSchedule::none() must not perturb anything: clocks,
+        // metrics, balances, event counts.
+        let run = |churn: ChurnSchedule| {
+            let mut net = des_with_churn(10, churn);
+            net.probe_path(&path_0123());
+            for (id, amount) in [(1u64, 4u64), (2, 9), (3, 7)] {
+                let p = Payment::new(TxId(id), n(0), n(3), Amount::from_units(amount));
+                let _ = crate::PaymentNetwork::send_single_path(
+                    &mut net,
+                    &p,
+                    PaymentClass::Mice,
+                    &path_0123(),
+                );
+            }
+            net.drain_all();
+            let now = net.now();
+            let delivered = net.events_delivered();
+            let metrics = net.take_metrics();
+            let inner = net.into_inner();
+            (now, delivered, metrics, inner)
+        };
+        let (now_a, del_a, metrics_a, net_a) = run(ChurnSchedule::none());
+        let (now_b, del_b, metrics_b, net_b) = run(ChurnSchedule::default());
+        assert_eq!(now_a, now_b);
+        assert_eq!(del_a, del_b);
+        assert_eq!(metrics_a, metrics_b);
+        for (e, _, _) in net_a.graph().edges() {
+            assert_eq!(net_a.balance(e), net_b.balance(e));
         }
     }
 }

@@ -30,7 +30,14 @@
 //!   time-aware backend behind the same traits, where payments overlap
 //!   in virtual time, reservations hold escrow until delayed
 //!   settlement waves land, and [`Metrics`] gains completion-latency
-//!   percentiles, peak in-flight, and throughput.
+//!   percentiles, peak in-flight, and throughput. Its
+//!   [`des::churn`] submodule injects deterministic topology dynamics
+//!   (channel close/reopen, node crash, balance drain) into the same
+//!   event order.
+//! * [`reprobe`] — the router-facing staleness layer: per-destination
+//!   stale-error/probe-drop accounting ([`StalenessTracker`]) with
+//!   FlyPath-style edge-scaled thresholds ([`ReprobePolicy`]) that
+//!   trigger a fresh probe/flood instead of retrying a dead path.
 //!
 //! Total funds are conserved exactly (integer micro-units): every debit
 //! of a forward balance is matched by a credit of escrow and ultimately
@@ -48,12 +55,17 @@ pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod outcome;
+pub mod reprobe;
 pub mod router;
 
-pub use backend::{PartFailure, PaymentNetwork, PaymentSession};
-pub use des::{DesConfig, DesEngine, DesNetwork, DesReport, LatencyModel, ServiceModel, SimTime};
+pub use backend::{FailureCause, PartFailure, PaymentNetwork, PaymentSession};
+pub use des::{
+    ChurnAction, ChurnEvent, ChurnRate, ChurnSchedule, DesConfig, DesEngine, DesNetwork, DesReport,
+    LatencyModel, ServiceModel, SimTime,
+};
 pub use fault::FaultConfig;
 pub use metrics::{ClassMetrics, LatencyHistogram, Metrics};
 pub use network::{ChannelInfo, Network, NetworkSession, ProbeReport};
 pub use outcome::{FailureReason, RouteOutcome};
+pub use reprobe::{ReprobePolicy, StalenessTracker};
 pub use router::Router;

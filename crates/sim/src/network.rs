@@ -1,6 +1,6 @@
 //! Network state and atomic payment sessions.
 
-use crate::backend::{PartFailure, PaymentNetwork, PaymentSession};
+use crate::backend::{FailureCause, PartFailure, PaymentNetwork, PaymentSession};
 use crate::{FaultConfig, Metrics, RouteOutcome};
 use pcn_graph::{DiGraph, EdgeId, Path};
 use pcn_types::{Amount, FeePolicy, Payment, PaymentClass, PcnError, Result};
@@ -302,6 +302,7 @@ impl NetworkSession<'_> {
                 return Err(PartFailure {
                     failed_hop: hop,
                     available: Amount::ZERO,
+                    cause: FailureCause::MissingChannel,
                 });
             };
             let bal = self.net.balances[e.index()];
@@ -312,6 +313,7 @@ impl NetworkSession<'_> {
                 return Err(PartFailure {
                     failed_hop: hop,
                     available: bal,
+                    cause: FailureCause::InsufficientBalance,
                 });
             }
             self.net.balances[e.index()] = bal.saturating_sub(amount);

@@ -21,6 +21,9 @@
 //! * [`arrivals`] — arrival processes for the discrete-event engine:
 //!   seeded Poisson offered load and fixed-gap controls, plus helpers
 //!   stamping traces into timed workloads.
+//! * [`churn`] — seeded topology-churn schedules (channel closes, node
+//!   crashes, balance drains) for `pcn_sim::des`, generated from
+//!   Poisson intensities the same way arrivals are.
 //! * [`trace`] — end-to-end trace generation and JSON-lines I/O
 //!   (timed and untimed; `time_micros` stamps replay through
 //!   `pcn_sim::des`).
@@ -34,12 +37,14 @@
 #![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod arrivals;
+pub mod churn;
 pub mod recurrence;
 pub mod size;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
+pub use churn::churn_schedule;
 pub use size::SizeModel;
 pub use topology::{lightning_topology, ripple_topology, testbed_topology};
 pub use trace::{generate_trace, TraceConfig};

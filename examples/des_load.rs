@@ -17,7 +17,7 @@
 use flash_offchain::experiments::harness::{
     run_scheme_des, DesLoad, SimScheme, DEFAULT_MICE_FRACTION,
 };
-use flash_offchain::sim::des::{LatencyModel, ServiceModel};
+use flash_offchain::sim::des::{ChurnRate, LatencyModel, ServiceModel};
 use flash_offchain::workload::testbed_topology;
 use flash_offchain::workload::trace::{generate_trace, TraceConfig};
 
@@ -43,6 +43,7 @@ fn main() {
                     rate_per_sec: load,
                     latency: LatencyModel::constant_ms(25),
                     service: ServiceModel::constant_ms(10),
+                    churn: ChurnRate::zero(),
                 },
             );
             println!(

@@ -8,7 +8,7 @@ use flash_offchain::experiments::harness::{
     run_scheme, run_scheme_des, DesLoad, SimScheme, DEFAULT_MICE_FRACTION,
 };
 use flash_offchain::sim::des::{
-    DesConfig, DesEngine, DesNetwork, LatencyModel, ServiceModel, SimTime,
+    ChurnRate, DesConfig, DesEngine, DesNetwork, LatencyModel, ServiceModel, SimTime,
 };
 use flash_offchain::sim::Network;
 use flash_offchain::types::{Amount, Payment};
@@ -46,6 +46,7 @@ fn run_checked(
             latency,
             service,
             check_conservation: true,
+            ..DesConfig::default()
         },
     );
     let report = engine.run(router.as_mut(), workload, threshold);
@@ -67,6 +68,7 @@ fn all_five_schemes_run_on_the_des_engine() {
                 rate_per_sec: 100.0,
                 latency: LatencyModel::constant_ms(20),
                 service: ServiceModel::instant(),
+                churn: ChurnRate::zero(),
             },
         );
         assert_eq!(
@@ -146,6 +148,7 @@ fn same_seed_produces_identical_reports() {
                         seed: 13,
                     },
                     service: ServiceModel::constant_ms(3),
+                    churn: ChurnRate::zero(),
                 },
             )
         };
@@ -173,6 +176,7 @@ fn different_seeds_change_the_arrival_pattern() {
                 rate_per_sec: 400.0,
                 latency: LatencyModel::constant_ms(25),
                 service: ServiceModel::instant(),
+                churn: ChurnRate::zero(),
             },
         )
     };
@@ -199,6 +203,7 @@ fn zero_latency_des_matches_the_instantaneous_simulator() {
                 rate_per_sec: 1000.0,
                 latency: LatencyModel::instant(),
                 service: ServiceModel::instant(),
+                churn: ChurnRate::zero(),
             },
         );
         assert_eq!(
@@ -435,5 +440,105 @@ proptest! {
             "mean latency decreased with load: {} pps -> {}us, {} pps -> {}us",
             base_rate, light, base_rate * factor, heavy
         );
+    }
+
+    /// The churn differential: a zero [`ChurnRate`] through the full
+    /// harness (which generates and installs the — empty — schedule)
+    /// must produce a bit-identical `DesReport` to an engine
+    /// constructed with no churn at all, for every scheme. This pins
+    /// the tentpole's exactness contract end to end: supporting churn
+    /// costs nothing when there is none — no RNG draw, no event, no
+    /// message tick, no counter.
+    #[test]
+    fn zero_churn_is_bit_identical_to_the_churn_free_engine(
+        seed in 0u64..100,
+        scheme_idx in 0usize..SCHEMES.len(),
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let net = small_net(seed);
+        let trace = trace_for(&net, 60, seed + 1);
+        let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+        let threshold = threshold_for_mice_fraction(&amounts, DEFAULT_MICE_FRACTION);
+        let with_churn_support = run_scheme_des(
+            &net,
+            scheme,
+            &trace,
+            DEFAULT_MICE_FRACTION,
+            seed + 2,
+            DesLoad {
+                rate_per_sec: 300.0,
+                latency: LatencyModel::constant_ms(20),
+                service: ServiceModel::constant_ms(3),
+                churn: ChurnRate::zero(),
+            },
+        );
+        // The same run through a churn-free engine (the default config
+        // installs no schedule), seeded identically to the harness.
+        let workload = arrivals::poisson_workload(&trace, 300.0, seed + 2);
+        let mut router = scheme.router_on::<DesNetwork>(threshold, seed + 2);
+        let mut engine = DesEngine::new(
+            net.clone(),
+            DesConfig {
+                latency: LatencyModel::constant_ms(20),
+                service: ServiceModel::constant_ms(3),
+                ..DesConfig::default()
+            },
+        );
+        let plain = engine.run(router.as_mut(), &workload, threshold);
+        prop_assert_eq!(
+            &with_churn_support,
+            &plain,
+            "{}: zero churn must be invisible, bit for bit",
+            scheme.label()
+        );
+        prop_assert_eq!(with_churn_support.closed_channels, 0);
+        prop_assert_eq!(with_churn_support.stale_probe_failures, 0);
+        prop_assert_eq!(with_churn_support.reprobes_triggered, 0);
+    }
+
+    /// Conservation under mid-run topology churn: with channels
+    /// closing (and reopening), nodes crashing, and balances draining
+    /// while payments are in flight, total funds (balances + escrow +
+    /// drained-out) are conserved at every event boundary (asserted
+    /// inside the engine per event via `check_conservation`), every
+    /// escrow is released, and no session survives the drain.
+    #[test]
+    fn funds_conserved_under_mid_run_topology_churn(
+        seed in 0u64..150,
+        scheme_idx in 0usize..SCHEMES.len(),
+        closes_per_sec in 8.0f64..256.0,
+        downtime_ms in 0u64..2_000,
+    ) {
+        let scheme = SCHEMES[scheme_idx];
+        let net = small_net(seed);
+        let trace = trace_for(&net, 60, seed + 1);
+        let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+        let threshold = threshold_for_mice_fraction(&amounts, DEFAULT_MICE_FRACTION);
+        let workload = arrivals::poisson_workload(&trace, 400.0, seed + 2);
+        let horizon = workload.last().map(|&(t, _)| t).unwrap_or(SimTime::ZERO);
+        let rate = flash_offchain::sim::des::ChurnRate {
+            closes_per_sec,
+            node_downs_per_sec: closes_per_sec / 8.0,
+            drains_per_sec: closes_per_sec / 8.0,
+            downtime: SimTime::from_millis(downtime_ms),
+        };
+        let schedule = flash_offchain::workload::churn_schedule(net.graph(), horizon, &rate, seed + 3);
+        let mut router = scheme.router_on::<DesNetwork>(threshold, seed + 2);
+        let mut engine = DesEngine::new(
+            net.clone(),
+            DesConfig {
+                latency: LatencyModel::constant_ms(15),
+                service: ServiceModel::constant_ms(2),
+                churn: schedule,
+                check_conservation: true,
+                ..DesConfig::default()
+            },
+        );
+        let report = engine.run(router.as_mut(), &workload, threshold);
+        let des = engine.into_network();
+        prop_assert_eq!(des.conserved_total_micros(), des.initial_total_micros());
+        prop_assert_eq!(des.escrow_micros(), 0u128);
+        prop_assert_eq!(des.in_flight(), 0);
+        prop_assert_eq!(report.metrics.total().attempted, 60);
     }
 }
