@@ -2,7 +2,7 @@
 //! the committed trajectory, or looks physically suspicious.
 //!
 //! ```text
-//! bench_gate <e2e|maxflow|churn> <committed.json> <regenerated.json>
+//! bench_gate <e2e|maxflow|churn|testbed> <committed.json> <regenerated.json>
 //! ```
 //!
 //! Compares the regenerated smoke bench against the committed file
@@ -16,7 +16,7 @@
 //! deltas are readable from the Actions run page without downloading
 //! artifacts. Exits 1 on any failing finding.
 
-use flash_bench::gate::{gate_churn, gate_e2e, gate_maxflow, GateReport, Severity};
+use flash_bench::gate::{gate_churn, gate_e2e, gate_maxflow, gate_testbed, GateReport, Severity};
 use std::io::Write;
 
 fn render(kind: &str, baseline_path: &str, candidate_path: &str, report: &GateReport) -> String {
@@ -46,7 +46,9 @@ fn render(kind: &str, baseline_path: &str, candidate_path: &str, report: &GateRe
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() != 3 || matches!(args[0].as_str(), "--help" | "-h") {
-        eprintln!("usage: bench_gate <e2e|maxflow|churn> <committed.json> <regenerated.json>");
+        eprintln!(
+            "usage: bench_gate <e2e|maxflow|churn|testbed> <committed.json> <regenerated.json>"
+        );
         std::process::exit(2);
     }
     let (kind, baseline_path, candidate_path) = (&args[0], &args[1], &args[2]);
@@ -62,8 +64,9 @@ fn main() {
         "e2e" => gate_e2e(&baseline, &candidate),
         "maxflow" => gate_maxflow(&baseline, &candidate),
         "churn" => gate_churn(&baseline, &candidate),
+        "testbed" => gate_testbed(&baseline, &candidate),
         other => {
-            eprintln!("bench_gate: unknown kind {other} (want e2e, maxflow, or churn)");
+            eprintln!("bench_gate: unknown kind {other} (want e2e, maxflow, churn, or testbed)");
             std::process::exit(2);
         }
     }

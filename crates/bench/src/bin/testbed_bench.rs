@@ -1,0 +1,166 @@
+//! `testbed_bench` — scenario-driven event-loop cluster trajectory.
+//!
+//! ```text
+//! testbed_bench [--smoke] [--out FILE]
+//! ```
+//!
+//! Runs declarative scenarios (`pcn_scenario`) on the single-process
+//! event-loop TCP cluster and records per (scheme, scale): success
+//! ratio, volume, fees, the probe/commit message breakdown, wire-frame
+//! conservation totals, end-of-run escrow, queue high-water marks, and
+//! wire events per wall second. Results go to `BENCH_testbed.json`
+//! (default).
+//!
+//! The **committed** `BENCH_testbed.json` is the `--smoke` output: CI
+//! regenerates it every run and `bench_gate testbed` diffs the two,
+//! failing on success-ratio regressions beyond 25%, on wire-frame
+//! loss or unsettled escrow inside a fault-free cluster, and on the
+//! ≥200-node single-process record disappearing. The full-scale run
+//! (all five schemes) happens on the weekly scheduled CI job.
+//!
+//! Routing is deterministic (seeded topology, trace, and routers); the
+//! wall-derived `events_per_sec`/`wall_ns` fields vary run to run and
+//! only ever warn in the gate.
+
+use pcn_proto::SchemeKind;
+use pcn_scenario::{Invariant, ScenarioBuilder, TopologySpec, WorkloadSpec};
+use serde::Serialize;
+
+/// One (scheme, scale) measurement — the serialization twin of
+/// `flash_bench::gate::TestbedRecord`.
+#[derive(Serialize)]
+struct Record {
+    scheme: String,
+    nodes: usize,
+    payments: usize,
+    success_ratio: f64,
+    success_volume_micros: u64,
+    fees_micros: u64,
+    probe_messages: u64,
+    commit_messages: u64,
+    wire_in: u64,
+    wire_out: u64,
+    escrow_end: u64,
+    queue_high_water: u64,
+    events_per_sec: f64,
+    wall_ns: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_testbed.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a file").clone();
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: testbed_bench [--smoke] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Both modes include the 200-node single-process scale point the
+    // gate requires; full scale adds the remaining schemes and longer
+    // traces.
+    let schemes: &[SchemeKind] = if smoke {
+        &[SchemeKind::ShortestPath, SchemeKind::Flash]
+    } else {
+        &SchemeKind::ALL
+    };
+    let scales: &[(usize, usize)] = if smoke {
+        &[(60, 120), (200, 60)]
+    } else {
+        &[(60, 400), (200, 200)]
+    };
+    let seed = 2003;
+
+    let mut records: Vec<Record> = Vec::new();
+    for &scheme in schemes {
+        for &(nodes, payments) in scales {
+            let wall_start = pcn_proto::wall_now();
+            let report = ScenarioBuilder::new(
+                format!("bench-{}-{}n", scheme.name(), nodes),
+                TopologySpec::Testbed {
+                    n: nodes,
+                    lo: 1000,
+                    hi: 1500,
+                    seed,
+                },
+            )
+            .workload(WorkloadSpec::Ripple {
+                txns: payments,
+                seed: seed + 7,
+            })
+            .scheme(scheme)
+            .seed(seed + 31)
+            .expect(Invariant::FundsConserved)
+            .expect(Invariant::MessagesConserved)
+            .build()
+            .run()
+            .expect("scenario run");
+            let wall = wall_start.elapsed();
+            if !report.all_invariants_hold() {
+                eprintln!(
+                    "invariant violation in {}: {:?}",
+                    report.name,
+                    report.failed_invariants()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "{:>14} @{:>4} nodes: ratio {:>5.1}% msgs {:>6} wire {:>6} {:>8.0} ev/s",
+                report.scheme,
+                nodes,
+                report.success_ratio * 100.0,
+                report.probe_messages + report.commit_messages,
+                report.wire_in,
+                report.events_per_sec,
+            );
+            records.push(Record {
+                scheme: report.scheme.clone(),
+                nodes,
+                payments,
+                success_ratio: report.success_ratio,
+                success_volume_micros: report.success_volume_micros,
+                fees_micros: report.fees_micros,
+                probe_messages: report.probe_messages,
+                commit_messages: report.commit_messages,
+                wire_in: report.wire_in,
+                wire_out: report.wire_out,
+                escrow_end: report.telemetry.iter().map(|t| t.escrow_held).sum(),
+                queue_high_water: report
+                    .telemetry
+                    .iter()
+                    .map(|t| t.queue_high_water)
+                    .max()
+                    .unwrap_or(0),
+                events_per_sec: report.events_per_sec,
+                wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+    }
+
+    // One record per line: diffable in review, still a plain JSON array.
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {}",
+                serde_json::to_string(r).expect("bench record serializes")
+            )
+        })
+        .collect();
+    std::fs::write(&out, format!("[\n{}\n]\n", body.join(",\n"))).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -1,6 +1,6 @@
 //! The bench-regression gate: diffs regenerated bench results against
 //! the committed `BENCH_e2e.json` / `BENCH_maxflow.json` /
-//! `BENCH_churn.json` trajectories.
+//! `BENCH_churn.json` / `BENCH_testbed.json` trajectories.
 //!
 //! Two kinds of check:
 //!
@@ -219,6 +219,56 @@ impl MaxflowRecord {
             self.pairs,
             self.iters_per_pair,
         )
+    }
+}
+
+/// One record of `BENCH_testbed.json`: one (scheme, scale) scenario run
+/// on the event-loop TCP cluster. Wall-derived fields
+/// (`events_per_sec`, `wall_ns`) only ever warn; everything else is
+/// deterministic for a zero-fault scenario.
+#[derive(Clone, Debug, Deserialize)]
+pub struct TestbedRecord {
+    /// Scheme label (`Flash`, `SP`, …).
+    pub scheme: String,
+    /// Hosted node count (the ≥200 record is the single-process scale
+    /// acceptance check).
+    pub nodes: usize,
+    /// Trace length.
+    pub payments: usize,
+    /// Fraction of payments fully delivered.
+    pub success_ratio: f64,
+    /// Volume delivered, micro-units.
+    #[serde(default)]
+    pub success_volume_micros: u64,
+    /// Fees charged, micro-units.
+    #[serde(default)]
+    pub fees_micros: u64,
+    /// `PROBE` messages serviced cluster-wide.
+    pub probe_messages: u64,
+    /// `COMMIT` messages serviced cluster-wide.
+    pub commit_messages: u64,
+    /// Wire frames received cluster-wide.
+    pub wire_in: u64,
+    /// Wire frames sent cluster-wide.
+    pub wire_out: u64,
+    /// Micro-units still escrowed at the end of the run (must be 0:
+    /// every commit was confirmed or reversed).
+    #[serde(default)]
+    pub escrow_end: u64,
+    /// Largest per-connection frame-queue high-water mark.
+    #[serde(default)]
+    pub queue_high_water: u64,
+    /// Wire frames received per wall second (warn-only: CI varies).
+    #[serde(default)]
+    pub events_per_sec: f64,
+    /// Wall-clock cost of the run, ns (not gated).
+    #[serde(default)]
+    pub wall_ns: u64,
+}
+
+impl TestbedRecord {
+    fn key(&self) -> (String, usize, usize) {
+        (self.scheme.clone(), self.nodes, self.payments)
     }
 }
 
@@ -589,6 +639,148 @@ fn check_churn_shape(records: &[ChurnRecord], report: &mut GateReport) {
                 ));
             }
         }
+    }
+}
+
+/// Gates a regenerated testbed bench (`candidate`) against the
+/// committed one (`baseline`), both as JSON text.
+///
+/// * **Regressions** — success ratio down >[`MAX_REGRESSION`] on a
+///   matched (scheme, nodes, payments) pair fails; probe+commit
+///   message growth beyond [`MAX_REGRESSION`] and wall-derived
+///   `events_per_sec` drops only warn.
+/// * **Conservation** — each candidate record must report
+///   `wire_in == wire_out` (every frame sent was received at
+///   quiescence) and `escrow_end == 0` (every commit settled). Either
+///   violation fails regardless of how the diff looks.
+/// * **Scale** — the candidate must include at least one ≥200-node
+///   record: the single-process scale acceptance check must stay in
+///   the committed trajectory.
+/// * **Liveness** — a record with `success_ratio == 0` fails: a trace
+///   that exercises no successes measures nothing.
+pub fn gate_testbed(baseline: &str, candidate: &str) -> Result<GateReport, String> {
+    let base: Vec<TestbedRecord> =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline: {e:?}"))?;
+    let cand: Vec<TestbedRecord> =
+        serde_json::from_str(candidate).map_err(|e| format!("candidate: {e:?}"))?;
+    let mut report = GateReport::default();
+    report.table.push_str(
+        "| scheme | nodes | success | Δ | messages | Δ | events/s | Δ |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    let mut matched = 0usize;
+    for c in &cand {
+        let Some(b) = base.iter().find(|b| b.key() == c.key()) else {
+            report.warn(format!(
+                "no committed baseline for {} @ {} nodes ({} payments) — new configuration?",
+                c.scheme, c.nodes, c.payments
+            ));
+            continue;
+        };
+        matched += 1;
+        let b_msgs = b.probe_messages + b.commit_messages;
+        let c_msgs = c.probe_messages + c.commit_messages;
+        let d_ratio = rel_change(b.success_ratio, c.success_ratio);
+        let d_msgs = rel_change(b_msgs as f64, c_msgs as f64);
+        let d_eps = rel_change(b.events_per_sec, c.events_per_sec);
+        report.table.push_str(&format!(
+            "| {} | {} | {:.1}% → {:.1}% | {} | {} → {} | {} | {:.0} → {:.0} | {} |\n",
+            c.scheme,
+            c.nodes,
+            b.success_ratio * 100.0,
+            c.success_ratio * 100.0,
+            pct(d_ratio),
+            b_msgs,
+            c_msgs,
+            pct(d_msgs),
+            b.events_per_sec,
+            c.events_per_sec,
+            pct(d_eps),
+        ));
+        if d_ratio < -MAX_REGRESSION {
+            report.fail(format!(
+                "{} @ {} nodes: success ratio regressed {} ({:.1}% → {:.1}%)",
+                c.scheme,
+                c.nodes,
+                pct(d_ratio),
+                b.success_ratio * 100.0,
+                c.success_ratio * 100.0
+            ));
+        }
+        if d_msgs > MAX_REGRESSION {
+            report.warn(format!(
+                "{} @ {} nodes: probe+commit messages up {} ({} → {}) — \
+                 message-budget drift; check probing changes",
+                c.scheme,
+                c.nodes,
+                pct(d_msgs),
+                b_msgs,
+                c_msgs
+            ));
+        }
+        if b.events_per_sec > 0.0 && c.events_per_sec > 0.0 && d_eps < -MAX_REGRESSION {
+            report.warn(format!(
+                "{} @ {} nodes: wire events/sec down {} ({:.0} → {:.0}) — \
+                 event-loop throughput suspect; warn-only (CI hardware varies)",
+                c.scheme,
+                c.nodes,
+                pct(d_eps),
+                b.events_per_sec,
+                c.events_per_sec
+            ));
+        }
+    }
+    for b in &base {
+        if !cand.iter().any(|c| c.key() == b.key()) {
+            report.warn(format!(
+                "committed record {} @ {} nodes was not regenerated — lost coverage?",
+                b.scheme, b.nodes
+            ));
+        }
+    }
+    if matched == 0 && !base.is_empty() {
+        report.fail(
+            "no candidate record matches any committed record — \
+             schema or configuration drift; regenerate the committed file"
+                .into(),
+        );
+    }
+    check_testbed_shape(&cand, &mut report);
+    report.sort();
+    Ok(report)
+}
+
+/// The testbed physical-suspicion checks: per-record wire conservation
+/// and settled escrow, plus the ≥200-node scale record.
+fn check_testbed_shape(records: &[TestbedRecord], report: &mut GateReport) {
+    for r in records {
+        if r.wire_in != r.wire_out {
+            report.fail(format!(
+                "physically suspicious: {} @ {} nodes sent {} wire frames but received {} — \
+                 frames were lost inside a fault-free cluster",
+                r.scheme, r.nodes, r.wire_out, r.wire_in
+            ));
+        }
+        if r.escrow_end != 0 {
+            report.fail(format!(
+                "physically suspicious: {} @ {} nodes ended with {} µ-units still escrowed — \
+                 some commit was never confirmed or reversed",
+                r.scheme, r.nodes, r.escrow_end
+            ));
+        }
+        if r.success_ratio == 0.0 {
+            report.fail(format!(
+                "{} @ {} nodes: nothing succeeded — the trace exercises no settlement path",
+                r.scheme, r.nodes
+            ));
+        }
+    }
+    if !records.is_empty() && !records.iter().any(|r| r.nodes >= 200) {
+        report.fail(
+            "no ≥200-node record in the candidate — the single-process scale \
+             acceptance check is gone from the trajectory"
+                .into(),
+        );
     }
 }
 

@@ -13,7 +13,7 @@
 //!   max-flow vs. edge-disjoint vs. Yen path finding, LP vs. sequential
 //!   fee splits).
 //!
-//! Plus three binaries:
+//! Plus the binaries:
 //!
 //! * `maxflow_bench` — compares every `MaxFlowSolver` kernel on the
 //!   Watts–Strogatz and Ripple/Lightning generator topologies,
@@ -21,6 +21,11 @@
 //! * `e2e_bench` — all five schemes through the discrete-event engine
 //!   (propagation latency + per-node service queues) under Poisson
 //!   load, writing `BENCH_e2e.json`.
+//! * `churn_bench` — the success-under-churn trajectory, writing
+//!   `BENCH_churn.json`.
+//! * `testbed_bench` — scenario-driven runs on the event-loop TCP
+//!   cluster (including the 200-node single-process scale point),
+//!   writing `BENCH_testbed.json`.
 //! * `bench_gate` — diffs the regenerated smoke benches against the
 //!   committed files and fails CI on regressions or physically
 //!   suspicious shapes (see [`gate`]).

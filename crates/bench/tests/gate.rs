@@ -1,7 +1,7 @@
 //! Tests of the bench-regression gate itself — including the check
 //! that it would have caught the PR-4 flat latency curve.
 
-use flash_bench::gate::{gate_churn, gate_e2e, gate_maxflow, Severity};
+use flash_bench::gate::{gate_churn, gate_e2e, gate_maxflow, gate_testbed, Severity};
 
 /// The `BENCH_e2e.json` that PR 4 committed: the propagation-only
 /// engine reported **bit-identical** p50/p95/p99 completion latency at
@@ -328,4 +328,111 @@ fn maxflow_gate_fails_on_flow_drift_but_only_warns_on_wall_time() {
         .findings
         .iter()
         .any(|f| f.severity == Severity::Fail && f.message.contains("total flow drifted")));
+}
+
+fn testbed_record(scheme: &str, nodes: usize, ratio: f64, wire_in: u64, wire_out: u64) -> String {
+    format!(
+        r#"{{"scheme":"{scheme}","nodes":{nodes},"payments":100,"success_ratio":{ratio},"success_volume_micros":1000,"fees_micros":0,"probe_messages":500,"commit_messages":300,"wire_in":{wire_in},"wire_out":{wire_out},"escrow_end":0,"queue_high_water":4,"events_per_sec":9000.0,"wall_ns":1}}"#
+    )
+}
+
+/// A healthy two-scale testbed trajectory including the 200-node
+/// single-process record.
+fn healthy_testbed() -> String {
+    array(&[
+        testbed_record("SP", 60, 0.70, 2000, 2000),
+        testbed_record("SP", 200, 0.65, 2600, 2600),
+    ])
+}
+
+#[test]
+fn testbed_gate_passes_a_healthy_trajectory() {
+    let h = healthy_testbed();
+    let report = gate_testbed(&h, &h).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+    assert!(report.table.contains("SP"));
+}
+
+#[test]
+fn testbed_gate_fails_a_success_regression_over_25_percent() {
+    let base = healthy_testbed();
+    let cand = array(&[
+        testbed_record("SP", 60, 0.50, 2000, 2000), // -29% vs baseline 0.70
+        testbed_record("SP", 200, 0.65, 2600, 2600),
+    ]);
+    let report = gate_testbed(&base, &cand).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("success ratio regressed")));
+}
+
+#[test]
+fn testbed_gate_fails_wire_frame_loss_even_against_itself() {
+    // wire_out > wire_in means frames vanished inside a fault-free
+    // cluster; a plain diff against an equally broken baseline is
+    // clean, so this must fail as physically suspicious.
+    let lossy = array(&[
+        testbed_record("SP", 60, 0.70, 1990, 2000),
+        testbed_record("SP", 200, 0.65, 2600, 2600),
+    ]);
+    let report = gate_testbed(&lossy, &lossy).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("frames were lost")));
+}
+
+#[test]
+fn testbed_gate_fails_unsettled_escrow() {
+    let stuck = healthy_testbed().replace("\"escrow_end\":0", "\"escrow_end\":42");
+    let report = gate_testbed(&stuck, &stuck).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("still escrowed")));
+}
+
+#[test]
+fn testbed_gate_requires_the_200_node_scale_record() {
+    let small_only = array(&[testbed_record("SP", 60, 0.70, 2000, 2000)]);
+    let report = gate_testbed(&small_only, &small_only).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("200-node")));
+}
+
+#[test]
+fn testbed_gate_warns_but_never_fails_on_events_per_sec_drop() {
+    let base = healthy_testbed();
+    let cand = healthy_testbed().replace("\"events_per_sec\":9000.0", "\"events_per_sec\":4000.0");
+    let report = gate_testbed(&base, &cand).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("events/sec down")));
+}
+
+#[test]
+fn testbed_gate_fails_total_mismatch() {
+    let base = healthy_testbed();
+    let cand = array(&[
+        testbed_record("Spider", 60, 0.70, 2000, 2000),
+        testbed_record("Spider", 200, 0.65, 2600, 2600),
+    ]);
+    let report = gate_testbed(&base, &cand).expect("parses");
+    assert!(!report.passed());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Fail
+                && f.message.contains("no candidate record matches"))
+    );
 }

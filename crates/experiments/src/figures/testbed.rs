@@ -2,16 +2,18 @@
 //!
 //! Every scheme routes through the same `flash-core` [`pcn_sim::Router`]
 //! implementations the simulator uses, via the
-//! [`pcn_sim::PaymentNetwork`] impl for [`Cluster`] — so the testbed
-//! sweep now covers all five schemes (the paper's §5.2 ran three) and
-//! reports the probe/commit message breakdown alongside the delay
-//! panels.
+//! [`pcn_sim::PaymentNetwork`] impl for `pcn_proto::Cluster` — so the
+//! testbed sweep now covers all five schemes (the paper's §5.2 ran
+//! three) and reports the probe/commit message breakdown alongside the
+//! delay panels. Each (scheme, interval) cell is one declarative
+//! [`pcn_scenario`] run: the scenario deploys the cluster, derives the
+//! elephant threshold, and checks funds/message conservation as run
+//! invariants.
 
 use crate::harness::Effort;
 use crate::report::{FigureResult, Series};
-use flash_core::classify::threshold_for_mice_fraction;
-use pcn_proto::{Cluster, SchemeKind, TestbedRunner};
-use pcn_types::Amount;
+use pcn_proto::SchemeKind;
+use pcn_scenario::{Invariant, ScenarioBuilder, TopologySpec, WorkloadSpec};
 use pcn_workload::testbed_topology;
 use pcn_workload::trace::{generate_trace, TraceConfig};
 
@@ -73,25 +75,42 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
 
     for (i, &(lo, hi)) in CAPACITY_INTERVALS.iter().enumerate() {
         let x = i as f64;
-        // One trace shared by all schemes on identical clusters.
+        // One trace shared by all schemes on identical clusters. The
+        // scenario derives the 90%-mice threshold from this same trace,
+        // so every scheme classifies identically.
         let seed = 42 + i as u64;
         let reference = testbed_topology(nodes, lo, hi, seed);
         let trace = generate_trace(reference.graph(), &TraceConfig::ripple(txns, seed + 7));
-        let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
-        let threshold = threshold_for_mice_fraction(&amounts, 0.9);
 
         // SCHEMES runs SP first, which seeds the delay normalization.
         let mut sp_delay = 1.0f64;
         let mut sp_mice_delay = 1.0f64;
         for scheme in SCHEMES {
-            let topo = testbed_topology(nodes, lo, hi, seed);
-            let graph = topo.graph().clone();
-            let balances: Vec<Amount> = graph.edges().map(|(e, _, _)| topo.balance(e)).collect();
-            let cluster = Cluster::launch(graph, &balances).expect("cluster launches");
-            let mut runner = TestbedRunner::new(cluster, scheme, threshold, seed + 13);
-            let report = runner.run_trace(&trace);
-            let delay_us = report.avg_delay().as_secs_f64() * 1e6;
-            let mice_delay_us = report.avg_mice_delay().as_secs_f64() * 1e6;
+            let report = ScenarioBuilder::new(
+                format!("{fig_prefix}-{}-interval{i}", scheme.name()),
+                TopologySpec::Testbed {
+                    n: nodes,
+                    lo,
+                    hi,
+                    seed,
+                },
+            )
+            .workload(WorkloadSpec::Explicit(trace.clone()))
+            .scheme(scheme)
+            .seed(seed + 13)
+            .expect(Invariant::FundsConserved)
+            .expect(Invariant::MessagesConserved)
+            .build()
+            .run()
+            .expect("scenario runs");
+            assert!(
+                report.all_invariants_hold(),
+                "{}: {:?}",
+                report.name,
+                report.failed_invariants()
+            );
+            let delay_us = report.avg_delay_ms * 1e3;
+            let mice_delay_us = report.avg_mice_delay_ms * 1e3;
             if scheme == SchemeKind::ShortestPath {
                 sp_delay = delay_us.max(1e-9);
                 sp_mice_delay = mice_delay_us.max(1e-9);
@@ -102,13 +121,13 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
                 .iter_mut()
                 .find(|s| s.label == label)
                 .unwrap()
-                .push(x, report.success_volume.as_units_f64());
+                .push(x, report.success_volume_micros as f64 / 1e6);
             fig_ratio
                 .series
                 .iter_mut()
                 .find(|s| s.label == label)
                 .unwrap()
-                .push(x, report.success_ratio() * 100.0);
+                .push(x, report.success_ratio * 100.0);
             fig_delay
                 .series
                 .iter_mut()
@@ -126,7 +145,7 @@ pub fn run_testbed(nodes: usize, fig_prefix: &str, effort: Effort) -> Vec<Figure
                 .iter_mut()
                 .find(|s| s.label == label)
                 .unwrap()
-                .push(x, report.total_messages() as f64);
+                .push(x, (report.probe_messages + report.commit_messages) as f64);
         }
     }
     vec![fig_vol, fig_ratio, fig_delay, fig_mice_delay, fig_messages]

@@ -29,7 +29,7 @@
 //! |---|---|---|---|---|---|
 //! | `pcn-types`, `pcn-graph`, `pcn-lp`, `flash-core`, `pcn-workload` | forbid | ✓ | – | ✓ | ✓ (src only) |
 //! | `pcn-sim` | forbid | ✓ | ✓ | ✓ | ✓ (src only) |
-//! | `pcn-proto`, `pcn-experiments`, `flash-bench`, umbrella | helper only | – | – | – | – |
+//! | `pcn-proto`, `pcn-scenario`, `pcn-experiments`, `flash-bench`, umbrella | helper only | – | – | – | – |
 //! | `shims/`, fixtures | skipped | | | | |
 //!
 //! "src only": the deterministic crates' integration tests, benches,
@@ -127,9 +127,9 @@ pub fn policy_for(rel: &str) -> Option<Policy> {
             return Some(p);
         }
     }
-    // Everything else — proto, experiments, bench, the lint itself,
-    // the umbrella crate's src/tests/examples — may read wall time
-    // through the helper only.
+    // Everything else — proto, scenario, experiments, bench, the lint
+    // itself, the umbrella crate's src/tests/examples — may read wall
+    // time through the helper only.
     Some(Policy::wall_allowed())
 }
 
@@ -352,6 +352,11 @@ mod tests {
             policy_for("crates/proto/src/cluster.rs").unwrap().wall,
             WallPolicy::HelperOnly
         );
+        // The scenario crate measures wall time on purpose (delays,
+        // events/sec) — deliberately helper-only, not deterministic.
+        let s = policy_for("crates/scenario/src/builder.rs").unwrap();
+        assert_eq!(s.wall, WallPolicy::HelperOnly);
+        assert!(!s.hash_order && !s.panics);
         assert_eq!(policy_for(WALL_HELPER_FILE).unwrap().wall, WallPolicy::Free);
         assert!(policy_for("shims/rand/src/lib.rs").is_none());
         assert!(policy_for("crates/lint/tests/fixtures/d1_wall_clock.rs").is_none());

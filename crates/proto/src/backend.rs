@@ -10,12 +10,14 @@
 //! | [`PaymentSession::commit`]         | `CONFIRM` → `CONFIRM_ACK` (all parts)|
 //! | [`PaymentSession::abort`] / drop   | `REVERSE` → `REVERSE_ACK` (all parts)|
 //!
-//! The prototype's concurrency is preserved: batched phase-1 commits
-//! ([`PaymentSession::try_send_parts`]) and every phase-2 wave go out on
-//! one thread per sub-payment, exactly as the paper's sender "prepares a
-//! COMMIT message for each of the sub-payment and sends them out" before
-//! collecting replies. Multi-path probing ([`PaymentNetwork::probe_paths`])
-//! is concurrent too.
+//! The prototype's concurrency is preserved without spawning a single
+//! thread: batched phase-1 commits ([`PaymentSession::try_send_parts`])
+//! and every phase-2 wave are injected into the cluster's event loop
+//! *together* ([`Cluster::commit_many`], [`Cluster::settle_many`]),
+//! exactly as the paper's sender "prepares a COMMIT message for each of
+//! the sub-payment and sends them out" before collecting replies.
+//! Multi-path probing ([`PaymentNetwork::probe_paths`]) batches the
+//! same way ([`Cluster::probe_many`]).
 //!
 //! Two wire-format limitations make the testbed's probe reports a strict
 //! subset of the simulator's: `PROBE_ACK` carries no reverse-direction
@@ -33,12 +35,9 @@ use pcn_sim::{
 use pcn_types::{Amount, Payment, PaymentClass};
 
 impl Cluster {
-    /// Probes `path` under a fresh transaction id and assembles the
-    /// backend-agnostic [`ProbeReport`] (shared by the network-level and
-    /// session-level probe entry points, which may run concurrently).
-    fn probe_report(&self, path: &Path) -> Option<ProbeReport> {
-        let id = self.fresh_trans_id();
-        let caps = self.probe(id, path)?;
+    /// Assembles the backend-agnostic [`ProbeReport`] from raw probed
+    /// capacities (shared by the single and batched probe entry points).
+    fn assemble_report(&self, path: &Path, caps: Vec<u64>) -> Option<ProbeReport> {
         let mut channels = Vec::with_capacity(caps.len());
         for ((u, v), cap) in path.channels().zip(caps) {
             let edge = self.graph().edge(u, v)?;
@@ -51,6 +50,14 @@ impl Cluster {
             });
         }
         Some(ProbeReport { channels })
+    }
+
+    /// Probes `path` under a fresh transaction id and assembles the
+    /// [`ProbeReport`].
+    fn probe_report(&self, path: &Path) -> Option<ProbeReport> {
+        let id = self.fresh_trans_id();
+        let caps = self.probe(id, path)?;
+        self.assemble_report(path, caps)
     }
 }
 
@@ -66,16 +73,15 @@ impl PaymentNetwork for Cluster {
     }
 
     fn probe_paths(&mut self, paths: &[Path]) -> Vec<Option<ProbeReport>> {
-        // Concurrent probing, as the prototype's Spider sender issues
-        // all its path probes at once.
-        let cluster = &*self;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = paths
-                .iter()
-                .map(|p| s.spawn(move || cluster.probe_report(p)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
+        // Batched probing: every PROBE is in flight on the event loop
+        // together, as the prototype's Spider sender issues all its
+        // path probes at once.
+        let items: Vec<(u64, &Path)> = paths.iter().map(|p| (self.fresh_trans_id(), p)).collect();
+        self.probe_many(&items)
+            .into_iter()
+            .zip(paths)
+            .map(|(caps, path)| self.assemble_report(path, caps?))
+            .collect()
     }
 
     fn begin_payment(&mut self, payment: &Payment, _class: PaymentClass) -> ClusterSession<'_> {
@@ -137,19 +143,15 @@ impl ClusterSession<'_> {
         });
     }
 
-    /// Phase 2 for every reserved part, one thread per sub-payment.
+    /// Phase 2 for every reserved part: one settlement wave, all parts
+    /// in flight on the event loop together.
     fn settle_all(&mut self, confirm: bool) {
-        let cluster = self.cluster;
         let parts = std::mem::take(&mut self.parts);
-        std::thread::scope(|s| {
-            for part in &parts {
-                if confirm {
-                    s.spawn(move || cluster.confirm_part(part.trans_id, &part.path, part.amount));
-                } else {
-                    s.spawn(move || cluster.reverse_part(part.trans_id, &part.path, part.amount));
-                }
-            }
-        });
+        let batch: Vec<(u64, &Path, Amount)> = parts
+            .iter()
+            .map(|p| (p.trans_id, &p.path, p.amount))
+            .collect();
+        self.cluster.settle_many(&batch, confirm);
         self.closed = true;
     }
 }
@@ -178,7 +180,7 @@ impl PaymentSession for ClusterSession<'_> {
 
     fn try_send_parts(&mut self, parts: &[(Path, Amount)]) -> Result<(), PartFailure> {
         assert!(!self.closed, "session already closed");
-        // Concurrent phase 1: all COMMITs go out before any reply is
+        // Batched phase 1: all COMMITs go out before any reply is
         // awaited, as in the paper's prototype. Individually NACKed
         // parts have already been rolled back on the wire; parts that
         // ACKed stay escrowed for phase 2 (commit or abort).
@@ -187,16 +189,7 @@ impl PaymentSession for ClusterSession<'_> {
             .filter(|(_, a)| !a.is_zero())
             .map(|(p, a)| (self.cluster.fresh_trans_id(), p, *a))
             .collect();
-        let cluster = self.cluster;
-        let results: Vec<Result<(), usize>> = std::thread::scope(|s| {
-            let handles: Vec<_> = live
-                .iter()
-                .map(|(id, path, amount)| {
-                    s.spawn(move || cluster.commit_part_located(*id, path, *amount))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+        let results = self.cluster.commit_many(&live);
         let mut first_failure = None;
         for ((trans_id, path, amount), result) in live.into_iter().zip(results) {
             match result {

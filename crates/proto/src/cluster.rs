@@ -1,29 +1,39 @@
 //! Cluster orchestration and the testbed experiment driver.
 //!
-//! [`Cluster::launch`] spins up one TCP-backed [`Node`] per
-//! participant. The cluster implements
+//! [`Cluster::launch`] deploys one protocol node per participant on the
+//! single-threaded [`EventLoop`] (see [`crate::event_loop`]) — hundreds
+//! of nodes fit in one process because a node costs a listener and a
+//! state machine, not threads. The cluster implements
 //! [`pcn_sim::PaymentNetwork`] (see [`crate::backend`]), so the *same*
 //! [`Router`] implementations the simulator uses — all five schemes —
 //! route on it unmodified; [`TestbedRunner`] merely drives a transaction
 //! trace through one router and measures per-transaction processing
 //! delay (Figures 12c/d and 13c/d), success volume and ratio (a/b
 //! panels), and the probe/commit message breakdown.
+//!
+//! The loop lives behind a `Mutex`, keeping every cluster method
+//! `&self`: concurrent callers serialize at the lock, which preserves
+//! the exactly-one-wins outcome of conflicting commits. Batched
+//! operations ([`Cluster::probe_many`], [`Cluster::commit_many`],
+//! [`Cluster::settle_many`]) inject *all* their requests before pumping
+//! the loop, so sub-payments still interleave on the wire exactly as
+//! the paper's sender "prepares a COMMIT message for each of the
+//! sub-payment and sends them out" before collecting replies.
 
+use crate::event_loop::{EventLoop, ShutdownReport};
 use crate::fault::FaultPlan;
-use crate::node::Node;
-use crate::transport::ConnPool;
+use crate::node::NodeCounters;
 use crate::wire::{Message, MsgType};
 use flash_core::{
     FlashConfig, FlashRouter, ShortestPathRouter, SilentWhispersRouter, SpeedyMurmursRouter,
     SpiderRouter,
 };
+use parking_lot::Mutex;
 use pcn_graph::{DiGraph, EdgeId, Path};
-use pcn_sim::{RouteOutcome, Router};
+use pcn_sim::{ChurnAction, RouteOutcome, Router};
 use pcn_types::{Amount, FeePolicy, NodeId, Payment, PaymentClass, PcnError, Result};
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Which routing scheme the testbed runner drives. All five schemes run
@@ -80,7 +90,7 @@ impl SchemeKind {
     }
 }
 
-/// A running cluster of TCP nodes.
+/// A running cluster of event-loop-hosted TCP nodes.
 ///
 /// Beyond the raw wire operations ([`Cluster::probe`],
 /// [`Cluster::commit_part`], ...), the cluster implements
@@ -88,7 +98,9 @@ impl SchemeKind {
 /// [`Router`] drives it exactly like the in-memory simulator.
 pub struct Cluster {
     graph: DiGraph,
-    nodes: Vec<Arc<Node>>,
+    /// The reactor hosting every node. `&self` methods lock it; see the
+    /// module docs for the serialization contract.
+    evloop: Mutex<EventLoop>,
     timeout: Duration,
     /// Sender-side fee policies per directed edge. The wire protocol
     /// carries no fee field, so — like the topology file every prototype
@@ -122,30 +134,17 @@ impl Cluster {
             )));
         }
         let n = graph.node_count();
-        // Bind all listeners first so the address book is complete
-        // before any node starts serving.
-        let mut listeners = Vec::with_capacity(n);
-        let mut addrs: HashMap<u32, SocketAddr> = HashMap::new();
-        for id in 0..n {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            addrs.insert(id as u32, listener.local_addr()?);
-            listeners.push(listener);
-        }
-        let mut nodes = Vec::with_capacity(n);
-        for (id, listener) in listeners.into_iter().enumerate() {
-            let mut node_balances: HashMap<u32, u64> = HashMap::new();
+        let mut node_balances: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for (id, bal) in node_balances.iter_mut().enumerate() {
             for &(neigh, e) in graph.out_neighbors(NodeId::from_index(id)) {
-                node_balances.insert(neigh.0, balances[e.index()].micros());
+                bal.insert(neigh.0, balances[e.index()].micros());
             }
-            let pool = ConnPool::with_faults(addrs.clone(), faults.clone());
-            let addr = addrs[&(id as u32)];
-            let (node, _handle) = Node::serve(id as u32, listener, addr, pool, node_balances);
-            nodes.push(node);
         }
+        let evloop = EventLoop::new(node_balances, faults)?;
         let fees = vec![FeePolicy::FREE; graph.edge_count()];
         Ok(Cluster {
             graph,
-            nodes,
+            evloop: Mutex::new(evloop),
             timeout: Duration::from_secs(10),
             fees,
             next_trans_id: AtomicU64::new(1),
@@ -186,23 +185,37 @@ impl Cluster {
 
     /// Total funds across all nodes (conservation checks).
     pub fn total_funds(&self) -> u64 {
-        self.nodes.iter().map(|n| n.total_outgoing()).sum()
+        self.evloop.lock().total_funds()
     }
 
     /// Sum of probe messages processed across all nodes.
     pub fn probe_messages(&self) -> u64 {
-        self.nodes
+        self.evloop
+            .lock()
+            .counters()
             .iter()
-            .map(|n| n.stats().probe_messages.load(Ordering::Relaxed))
+            .map(|c| c.probe_messages)
             .sum()
     }
 
     /// Sum of commit messages processed across all nodes.
     pub fn commit_messages(&self) -> u64 {
-        self.nodes
+        self.evloop
+            .lock()
+            .counters()
             .iter()
-            .map(|n| n.stats().commit_messages.load(Ordering::Relaxed))
+            .map(|c| c.commit_messages)
             .sum()
+    }
+
+    /// Per-node telemetry snapshot, indexed by node id.
+    pub fn node_counters(&self) -> Vec<NodeCounters> {
+        self.evloop.lock().counters()
+    }
+
+    /// Messages the installed fault plan has dropped so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.evloop.lock().dropped()
     }
 
     /// Allocates a fresh wire transaction id.
@@ -210,24 +223,60 @@ impl Cluster {
         self.next_trans_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn sender_node(&self, path: &Path) -> &Arc<Node> {
-        &self.nodes[path.source().index()]
-    }
-
     fn path_ids(path: &Path) -> Vec<u32> {
         path.nodes().iter().map(|n| n.0).collect()
     }
 
+    /// Runs one request to completion (or timeout) on the loop.
+    fn request(&self, msg: Message) -> Option<Message> {
+        self.request_many(vec![msg]).pop().flatten()
+    }
+
+    /// Injects every message, then pumps the loop until all replies
+    /// arrived or the timeout elapsed. Results are in input order;
+    /// `None` marks a timed-out (or invalid) request.
+    fn request_many(&self, msgs: Vec<Message>) -> Vec<Option<Message>> {
+        let mut ev = self.evloop.lock();
+        let mut ids = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            let id = msg.trans_id;
+            match ev.begin_request(msg) {
+                Ok(_) => ids.push(Some(id)),
+                Err(_) => ids.push(None),
+            }
+        }
+        let live: Vec<u64> = ids.iter().copied().flatten().collect();
+        ev.run_requests(&live, self.timeout);
+        ids.into_iter()
+            .map(|id| id.and_then(|id| ev.take_reply(id)))
+            .collect()
+    }
+
     /// Sends a `PROBE` along `path`; returns per-hop forward balances.
     pub fn probe(&self, trans_id: u64, path: &Path) -> Option<Vec<u64>> {
-        let node = self.sender_node(path);
         let msg = Message::new(trans_id, MsgType::Probe, Self::path_ids(path));
-        let rx = node.start_request(msg);
-        let reply = rx.recv_timeout(self.timeout).ok();
-        node.finish_request(trans_id);
-        let reply = reply?;
+        let reply = self.request(msg)?;
         (reply.msg_type == MsgType::ProbeAck && reply.capacities.len() == path.hops())
             .then_some(reply.capacities)
+    }
+
+    /// Probes many paths in one batch: all `PROBE`s are in flight
+    /// together, as the prototype's Spider sender issues its path
+    /// probes at once.
+    pub fn probe_many(&self, items: &[(u64, &Path)]) -> Vec<Option<Vec<u64>>> {
+        let msgs = items
+            .iter()
+            .map(|(id, path)| Message::new(*id, MsgType::Probe, Self::path_ids(path)))
+            .collect();
+        self.request_many(msgs)
+            .into_iter()
+            .zip(items)
+            .map(|(reply, (_, path))| {
+                let reply = reply?;
+                (reply.msg_type == MsgType::ProbeAck && reply.capacities.len() == path.hops())
+                    .then_some(reply.capacities)
+            })
+            .collect()
     }
 
     /// Phase-1 commit of a sub-payment. `true` on `COMMIT_ACK`; on
@@ -246,71 +295,113 @@ impl Cluster {
         path: &Path,
         amount: Amount,
     ) -> std::result::Result<(), usize> {
-        let node = self.sender_node(path);
-        let mut msg = Message::new(trans_id, MsgType::Commit, Self::path_ids(path));
-        msg.commit = amount.micros();
-        let rx = node.start_request(msg);
-        let reply = rx.recv_timeout(self.timeout).ok();
-        node.finish_request(trans_id);
-        match reply {
-            Some(m) if m.msg_type == MsgType::CommitAck => Ok(()),
-            // The NACK's path is the reversed prefix up to (and
-            // including) the node that refused: its length names the hop.
-            Some(m) if m.msg_type == MsgType::CommitNack => Err(m.path.len().saturating_sub(1)),
-            _ => Err(0),
-        }
+        self.commit_many(&[(trans_id, path, amount)])
+            .pop()
+            .expect("one part in, one result out")
+    }
+
+    /// Phase-1 commit of a whole batch: every `COMMIT` goes out before
+    /// any reply is awaited. Each result is as in
+    /// [`Cluster::commit_part_located`]; NACKed parts have already been
+    /// rolled back on the wire.
+    pub fn commit_many(
+        &self,
+        parts: &[(u64, &Path, Amount)],
+    ) -> Vec<std::result::Result<(), usize>> {
+        let msgs = parts
+            .iter()
+            .map(|(id, path, amount)| {
+                let mut m = Message::new(*id, MsgType::Commit, Self::path_ids(path));
+                m.commit = amount.micros();
+                m
+            })
+            .collect();
+        self.request_many(msgs)
+            .into_iter()
+            .map(|reply| match reply {
+                Some(m) if m.msg_type == MsgType::CommitAck => Ok(()),
+                // The NACK's path is the reversed prefix up to (and
+                // including) the node that refused: its length names
+                // the hop.
+                Some(m) if m.msg_type == MsgType::CommitNack => Err(m.path.len().saturating_sub(1)),
+                _ => Err(0),
+            })
+            .collect()
     }
 
     /// Phase-2 confirmation of a committed sub-payment (credits the
     /// reverse directions along the path).
     pub fn confirm_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
-        self.phase2(
-            trans_id,
-            path,
-            amount,
-            MsgType::Confirm,
-            MsgType::ConfirmAck,
-        )
+        self.settle_many(&[(trans_id, path, amount)], true)
+            .pop()
+            .unwrap_or(false)
     }
 
     /// Phase-2 reversal of a committed sub-payment (restores escrow).
     pub fn reverse_part(&self, trans_id: u64, path: &Path, amount: Amount) -> bool {
-        self.phase2(
-            trans_id,
-            path,
-            amount,
-            MsgType::Reverse,
-            MsgType::ReverseAck,
-        )
+        self.settle_many(&[(trans_id, path, amount)], false)
+            .pop()
+            .unwrap_or(false)
     }
 
-    fn phase2(
-        &self,
-        trans_id: u64,
-        path: &Path,
-        amount: Amount,
-        send: MsgType,
-        expect: MsgType,
-    ) -> bool {
-        let node = self.sender_node(path);
-        let mut msg = Message::new(trans_id, send, Self::path_ids(path));
-        msg.commit = amount.micros();
-        let rx = node.start_request(msg);
-        let reply = rx.recv_timeout(self.timeout).ok();
-        node.finish_request(trans_id);
-        reply.is_some_and(|m| m.msg_type == expect)
+    /// Phase-2 settlement wave for a batch of committed parts: confirms
+    /// (`confirm = true`) or reverses all of them, in flight together.
+    pub fn settle_many(&self, parts: &[(u64, &Path, Amount)], confirm: bool) -> Vec<bool> {
+        let (send, expect) = if confirm {
+            (MsgType::Confirm, MsgType::ConfirmAck)
+        } else {
+            (MsgType::Reverse, MsgType::ReverseAck)
+        };
+        let msgs = parts
+            .iter()
+            .map(|(id, path, amount)| {
+                let mut m = Message::new(*id, send, Self::path_ids(path));
+                m.commit = amount.micros();
+                m
+            })
+            .collect();
+        self.request_many(msgs)
+            .into_iter()
+            .map(|reply| reply.is_some_and(|m| m.msg_type == expect))
+            .collect()
     }
 
-    /// Shuts the cluster down (best effort; reader threads exit on EOF).
-    pub fn shutdown(&self) {
-        for node in &self.nodes {
-            node.request_shutdown();
+    /// Applies one topology mutation mid-run, mirroring the DES churn
+    /// semantics (`pcn_sim::des::churn`): closes freeze both directions
+    /// of the channel, crashed nodes NACK what they would service, and
+    /// drains move funds to the reverse direction when one exists.
+    pub fn apply_churn(&self, action: &ChurnAction) {
+        let mut ev = self.evloop.lock();
+        match *action {
+            ChurnAction::ChannelClose(e) | ChurnAction::ChannelReopen(e) => {
+                let closed = matches!(action, ChurnAction::ChannelClose(_));
+                let (u, v) = self.graph.endpoints(e);
+                ev.set_channel_closed(u.0, v.0, closed);
+                if self.graph.edge(v, u).is_some() {
+                    ev.set_channel_closed(v.0, u.0, closed);
+                }
+            }
+            ChurnAction::NodeDown(n) => ev.set_node_down(n.0, true),
+            ChurnAction::NodeUp(n) => ev.set_node_down(n.0, false),
+            ChurnAction::BalanceDrain { edge, amount } => {
+                let (u, v) = self.graph.endpoints(edge);
+                let credit_reverse = self.graph.edge(v, u).is_some();
+                ev.drain_channel(u.0, v.0, amount.micros(), credit_reverse);
+            }
         }
+    }
+
+    /// Winds the event loop down deterministically and reports anything
+    /// left behind (see [`EventLoop::shutdown`]). Idempotent.
+    pub fn shutdown(&self) -> ShutdownReport {
+        self.evloop.lock().shutdown()
     }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
+        // The loop's own Drop would catch this too; shutting down here
+        // keeps the wind-down inside the cluster's lifetime.
         self.shutdown();
     }
 }
@@ -423,11 +514,6 @@ impl TestbedRunner {
     /// Access to the underlying cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
-    }
-
-    /// The router's scheme name.
-    pub fn scheme_name(&self) -> &'static str {
-        self.router.name()
     }
 
     /// Routes an entire trace, accumulating the report.
@@ -582,6 +668,75 @@ mod tests {
         let caps = cluster.probe(2, &path).unwrap();
         assert_eq!(caps, vec![10_000_000, 10_000_000]);
         assert_eq!(cluster.total_funds(), before);
+    }
+
+    #[test]
+    fn batched_commits_interleave_on_the_wire() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let before = cluster.total_funds();
+        let p1 = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        let p2 = Path::new(vec![n(0), n(2), n(3)], Some(cluster.graph())).unwrap();
+        let results = cluster.commit_many(&[
+            (10, &p1, Amount::from_units(6)),
+            (11, &p2, Amount::from_units(7)),
+            // Third part overdraws p1's remaining 4 and must NACK.
+            (12, &p1, Amount::from_units(5)),
+        ]);
+        assert_eq!(results, vec![Ok(()), Ok(()), Err(0)]);
+        let settled = cluster.settle_many(
+            &[
+                (10, &p1, Amount::from_units(6)),
+                (11, &p2, Amount::from_units(7)),
+            ],
+            true,
+        );
+        assert_eq!(settled, vec![true, true]);
+        assert_eq!(cluster.total_funds(), before);
+        let caps = cluster.probe(13, &p1).unwrap();
+        assert_eq!(caps, vec![4_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn churn_actions_apply_and_conserve() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let before = cluster.total_funds();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        let e01 = cluster.graph().edge(n(0), n(1)).unwrap();
+        cluster.apply_churn(&ChurnAction::ChannelClose(e01));
+        assert!(
+            !cluster.commit_part(1, &path, Amount::from_units(1)),
+            "commit through a closed channel must NACK"
+        );
+        assert_eq!(cluster.total_funds(), before, "frozen funds stay in place");
+        cluster.apply_churn(&ChurnAction::ChannelReopen(e01));
+        assert!(cluster.commit_part(2, &path, Amount::from_units(1)));
+        assert!(cluster.reverse_part(2, &path, Amount::from_units(1)));
+        cluster.apply_churn(&ChurnAction::NodeDown(n(1)));
+        assert!(
+            cluster.probe(3, &path).is_none(),
+            "crashed relay drops probes"
+        );
+        cluster.apply_churn(&ChurnAction::NodeUp(n(1)));
+        assert!(cluster.probe(4, &path).is_some());
+        cluster.apply_churn(&ChurnAction::BalanceDrain {
+            edge: e01,
+            amount: Amount::MAX,
+        });
+        let caps = cluster.probe(5, &path).unwrap();
+        assert_eq!(caps[0], 0, "drained direction is empty");
+        assert_eq!(cluster.total_funds(), before, "drain conserves funds");
+    }
+
+    #[test]
+    fn shutdown_reports_clean_on_quiet_cluster() {
+        let (g, b) = diamond();
+        let cluster = Cluster::launch(g, &b).unwrap();
+        let path = Path::new(vec![n(0), n(1), n(3)], Some(cluster.graph())).unwrap();
+        cluster.probe(1, &path).unwrap();
+        let report = cluster.shutdown();
+        assert!(report.is_clean(), "{report:?}");
     }
 
     #[test]

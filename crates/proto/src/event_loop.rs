@@ -1,0 +1,630 @@
+//! The poll-based reactor hosting every node actor in one thread.
+//!
+//! The previous runtime spent two OS threads per TCP connection plus
+//! one scoped thread per in-flight sub-payment, capping clusters at
+//! tens of nodes. This module replaces all of it with a single-threaded
+//! event loop over non-blocking sockets — no external async runtime,
+//! just readiness polling:
+//!
+//! * one non-blocking [`TcpListener`] per node (bound before any
+//!   traffic flows, so the address book is complete),
+//! * inbound connections feeding a [`FrameDecoder`] each,
+//! * outbound connections with explicit write buffers flushed as the
+//!   kernel accepts bytes,
+//! * a [`NodeState`] per node executing the protocol state machine,
+//! * a request table correlating client-injected messages with their
+//!   terminal replies by `trans_id`.
+//!
+//! [`EventLoop::poll_once`] makes one pass — accept, read+dispatch,
+//! flush — and reports how much progress it made. Because everything is
+//! single-threaded, a zero-progress pass over loopback sockets is a
+//! definitive quiescence check: no thread can be mid-send, so no bytes
+//! are in flight that a subsequent pass could reveal (a small grace
+//! window in [`EventLoop::drain`] covers kernel delivery latency).
+//!
+//! # Threading contract
+//!
+//! The loop is `!Sync` by construction — one thread drives it at a
+//! time. [`Cluster`](crate::Cluster) wraps it in a `Mutex` so its
+//! public API stays `&self` and callers may still race payments from
+//! multiple threads; they serialize at the lock, which preserves the
+//! exactly-one-wins behaviour of conflicting commits.
+//!
+//! # Determinism
+//!
+//! Scan order is fixed: listeners, then inbound connections, then
+//! outbound buffers, each in creation order; dispatch is FIFO per
+//! pass. Wall time enters only through [`crate::wall_now`] (lint rule
+//! D1) and is used exclusively for timeouts — never for ordering
+//! decisions.
+
+use crate::fault::FaultPlan;
+use crate::node::{NodeState, Outbox, MSG_TYPES};
+use crate::transport::FrameDecoder;
+use crate::wall::WallInstant;
+use crate::wire::Message;
+use pcn_types::{PcnError, Result};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// An accepted inbound connection, owned by the listening node.
+struct InConn {
+    /// The node whose listener accepted this connection.
+    owner: u32,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    open: bool,
+}
+
+/// A persistent outbound connection with an explicit write buffer.
+struct OutConn {
+    /// Sending node (its counters track the queue depth).
+    from: u32,
+    stream: TcpStream,
+    /// Encoded frames awaiting the kernel.
+    buf: Vec<u8>,
+    /// How much of `buf` has been written.
+    cursor: usize,
+    /// End offset of each queued frame, for queue-depth accounting.
+    frame_ends: VecDeque<usize>,
+    open: bool,
+}
+
+/// What [`EventLoop::shutdown`] found while winding down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Frames still queued on outbound buffers after the final drain.
+    pub unflushed_frames: u64,
+    /// Bytes of partial frames stuck in inbound decoders.
+    pub undecoded_bytes: u64,
+    /// Requests begun but never answered (timed out or abandoned).
+    pub unanswered_requests: u64,
+    /// Sockets that failed mid-run (connect/read/write errors).
+    pub transport_errors: u64,
+}
+
+impl ShutdownReport {
+    /// Whether the loop wound down with nothing left behind.
+    pub fn is_clean(&self) -> bool {
+        self.unflushed_frames == 0 && self.undecoded_bytes == 0 && self.transport_errors == 0
+    }
+}
+
+/// The single-threaded reactor. See the module docs for the contract.
+pub struct EventLoop {
+    nodes: Vec<NodeState>,
+    listeners: Vec<TcpListener>,
+    addrs: HashMap<u32, SocketAddr>,
+    in_conns: Vec<InConn>,
+    out_conns: Vec<OutConn>,
+    /// `(from, to)` → index into `out_conns`.
+    out_index: HashMap<(u32, u32), usize>,
+    /// Open request slots: `None` until the terminal reply arrives.
+    pending: HashMap<u64, Option<Message>>,
+    /// Messages decoded this pass, awaiting dispatch (FIFO).
+    scratch: VecDeque<(u32, Message)>,
+    faults: FaultPlan,
+    transport_errors: u64,
+    shut: bool,
+}
+
+impl EventLoop {
+    /// Binds one non-blocking listener per node and installs the
+    /// initial outgoing balances. `balances[i]` maps neighbor id →
+    /// micro-units for node `i`. No traffic flows until the first
+    /// [`EventLoop::poll_once`].
+    pub fn new(balances: Vec<HashMap<u32, u64>>, faults: FaultPlan) -> Result<Self> {
+        let mut nodes = Vec::with_capacity(balances.len());
+        let mut listeners = Vec::with_capacity(balances.len());
+        let mut addrs = HashMap::new();
+        for (id, bal) in balances.into_iter().enumerate() {
+            let id = id as u32;
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            listener.set_nonblocking(true)?;
+            addrs.insert(id, listener.local_addr()?);
+            listeners.push(listener);
+            nodes.push(NodeState::new(id, bal));
+        }
+        Ok(EventLoop {
+            nodes,
+            listeners,
+            addrs,
+            in_conns: Vec::new(),
+            out_conns: Vec::new(),
+            out_index: HashMap::new(),
+            pending: HashMap::new(),
+            scratch: VecDeque::new(),
+            faults,
+            transport_errors: 0,
+            shut: false,
+        })
+    }
+
+    /// Number of hosted nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node (balances, counters).
+    pub fn node(&self, id: u32) -> &NodeState {
+        &self.nodes[id as usize]
+    }
+
+    /// Telemetry snapshot for every node.
+    pub fn counters(&self) -> Vec<crate::node::NodeCounters> {
+        self.nodes.iter().map(|n| n.counters().clone()).collect()
+    }
+
+    /// Sum of all outgoing balances across the cluster (conservation
+    /// checks; meaningful at quiescence, when nothing is escrowed).
+    pub fn total_funds(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_outgoing()).sum()
+    }
+
+    /// Messages the fault plan dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.faults.dropped()
+    }
+
+    // ----- churn ---------------------------------------------------
+
+    /// Crashes or revives a node (see [`NodeState::set_down`]).
+    pub fn set_node_down(&mut self, node: u32, down: bool) {
+        self.nodes[node as usize].set_down(down);
+    }
+
+    /// Freezes or reopens one channel direction `u → v`.
+    pub fn set_channel_closed(&mut self, u: u32, v: u32, closed: bool) {
+        self.nodes[u as usize].set_closed_to(v, closed);
+    }
+
+    /// Drains up to `amount` from `u → v`; when `credit_reverse`, the
+    /// moved funds land on `v → u` (conserving totals), otherwise they
+    /// leave the channel system. Returns the amount moved.
+    pub fn drain_channel(&mut self, u: u32, v: u32, amount: u64, credit_reverse: bool) -> u64 {
+        let moved = self.nodes[u as usize].drain_to(v, amount);
+        if credit_reverse {
+            self.nodes[v as usize].credit_to(u, moved);
+        }
+        moved
+    }
+
+    // ----- requests ------------------------------------------------
+
+    /// Opens a reply slot for `msg.trans_id` and dispatches `msg` at
+    /// its originating node (`path[pos]`). The terminal reply — or a
+    /// timeout — is later retrieved with [`EventLoop::take_reply`].
+    pub fn begin_request(&mut self, msg: Message) -> Result<u64> {
+        let origin = msg
+            .current()
+            .ok_or_else(|| PcnError::Transport("message with empty path".into()))?;
+        if origin as usize >= self.nodes.len() {
+            return Err(PcnError::Transport(format!("no node {origin}")));
+        }
+        let id = msg.trans_id;
+        self.pending.insert(id, None);
+        self.dispatch(origin, msg);
+        Ok(id)
+    }
+
+    /// Pumps the loop until every listed request has a reply or the
+    /// timeout elapses. Requests not in `ids` are serviced too — the
+    /// loop is global — but only the listed ones gate completion.
+    pub fn run_requests(&mut self, ids: &[u64], timeout: Duration) {
+        let wall_deadline = crate::wall_now() + timeout;
+        loop {
+            let done = ids
+                .iter()
+                .all(|id| !matches!(self.pending.get(id), Some(None)));
+            if done {
+                return;
+            }
+            if self.poll_once() == 0 {
+                if crate::wall_now() >= wall_deadline {
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Removes and returns the reply for a finished request. `None`
+    /// means the request timed out (a late reply arriving after this
+    /// call is dropped on the floor, like the old channel-based
+    /// correlation).
+    pub fn take_reply(&mut self, trans_id: u64) -> Option<Message> {
+        self.pending.remove(&trans_id).flatten()
+    }
+
+    // ----- the reactor ---------------------------------------------
+
+    /// One pass: accept new connections, read + dispatch every readable
+    /// frame, flush outbound buffers. Returns a progress count (0 ⇒
+    /// the pass observed nothing to do).
+    pub fn poll_once(&mut self) -> usize {
+        let mut progress = 0;
+        progress += self.accept_new();
+        progress += self.poll_reads();
+        progress += self.flush_writes();
+        progress
+    }
+
+    /// Pumps until quiescent: `grace` consecutive zero-progress passes
+    /// (covering loopback delivery latency) or the wall deadline.
+    /// Returns true when quiescence was reached.
+    pub fn drain(&mut self, wall_deadline: WallInstant) -> bool {
+        let mut calm = 0;
+        while calm < 3 {
+            if self.poll_once() == 0 {
+                calm += 1;
+                if crate::wall_now() >= wall_deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                calm = 0;
+            }
+        }
+        true
+    }
+
+    fn accept_new(&mut self) -> usize {
+        let mut accepted = 0;
+        for (owner, listener) in self.listeners.iter().enumerate() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err()
+                            || stream.set_nodelay(true).is_err()
+                        {
+                            self.transport_errors += 1;
+                            continue;
+                        }
+                        self.in_conns.push(InConn {
+                            owner: owner as u32,
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            open: true,
+                        });
+                        accepted += 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        self.transport_errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        accepted
+    }
+
+    fn poll_reads(&mut self) -> usize {
+        let mut read_buf = [0u8; 4096];
+        // Phase 1: drain every readable socket into its decoder and
+        // collect complete frames. Counting msgs_in happens here, at
+        // the wire boundary.
+        for conn in self.in_conns.iter_mut().filter(|c| c.open) {
+            loop {
+                match conn.stream.read(&mut read_buf) {
+                    Ok(0) => {
+                        conn.open = false; // clean EOF
+                        break;
+                    }
+                    Ok(n) => conn.decoder.feed(&read_buf[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.open = false;
+                        self.transport_errors += 1;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.decoder.next_message() {
+                    Ok(Some(msg)) => {
+                        let c = &mut self.nodes[conn.owner as usize].counters;
+                        c.msgs_in[msg.msg_type as usize] += 1;
+                        self.scratch.push_back((conn.owner, msg));
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // A malformed frame poisons the connection; the
+                        // peer's next send will reconnect.
+                        conn.open = false;
+                        self.transport_errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // Phase 2: run the state machines. Handlers may emit new sends,
+        // which queue_send buffers for the flush phase.
+        let mut dispatched = 0;
+        while let Some((node, msg)) = self.scratch.pop_front() {
+            self.dispatch(node, msg);
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    /// Runs one message through its node's state machine and executes
+    /// the outbox: terminal replies fill their request slot, sends are
+    /// queued on outbound connections.
+    fn dispatch(&mut self, node: u32, msg: Message) {
+        let mut out = Outbox::default();
+        self.nodes[node as usize].handle(msg, &mut out);
+        for reply in out.deliveries {
+            if let Some(slot) = self.pending.get_mut(&reply.trans_id) {
+                *slot = Some(reply);
+            }
+            // No slot: a late reply after timeout — dropped, as before.
+        }
+        for (to, m) in out.sends {
+            self.queue_send(node, to, m);
+        }
+    }
+
+    /// Buffers one frame on the `from → to` connection, connecting on
+    /// first use. Under an active fault plan the frame may be dropped
+    /// before it is counted or queued — a lossy wire, invisible to the
+    /// sender.
+    fn queue_send(&mut self, from: u32, to: u32, msg: Message) {
+        if self.faults.should_drop() {
+            return;
+        }
+        let idx = match self.out_index.get(&(from, to)) {
+            Some(&i) if self.out_conns[i].open => i,
+            _ => {
+                let Some(&addr) = self.addrs.get(&to) else {
+                    self.transport_errors += 1;
+                    return;
+                };
+                // Loopback connect completes immediately (the listener's
+                // backlog accepts it); switch to non-blocking after.
+                let stream = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.transport_errors += 1;
+                        return;
+                    }
+                };
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    self.transport_errors += 1;
+                    return;
+                }
+                let i = self.out_conns.len();
+                self.out_conns.push(OutConn {
+                    from,
+                    stream,
+                    buf: Vec::new(),
+                    cursor: 0,
+                    frame_ends: VecDeque::new(),
+                    open: true,
+                });
+                self.out_index.insert((from, to), i);
+                i
+            }
+        };
+        let counters = &mut self.nodes[from as usize].counters;
+        counters.msgs_out[msg.msg_type as usize] += 1;
+        counters.queue_depth += 1;
+        counters.queue_high_water = counters.queue_high_water.max(counters.queue_depth);
+        let conn = &mut self.out_conns[idx];
+        conn.buf.extend_from_slice(&msg.encode());
+        conn.frame_ends.push_back(conn.buf.len());
+    }
+
+    fn flush_writes(&mut self) -> usize {
+        let mut progressed = 0;
+        for conn in self.out_conns.iter_mut().filter(|c| c.open) {
+            while conn.cursor < conn.buf.len() {
+                match conn.stream.write(&conn.buf[conn.cursor..]) {
+                    Ok(0) => {
+                        conn.open = false;
+                        self.transport_errors += 1;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.cursor += n;
+                        progressed += 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.open = false;
+                        self.transport_errors += 1;
+                        break;
+                    }
+                }
+            }
+            // Retire fully written frames from the owner's queue depth.
+            let counters = &mut self.nodes[conn.from as usize].counters;
+            while conn
+                .frame_ends
+                .front()
+                .is_some_and(|&end| end <= conn.cursor)
+            {
+                conn.frame_ends.pop_front();
+                counters.queue_depth = counters.queue_depth.saturating_sub(1);
+            }
+            if conn.cursor == conn.buf.len() && conn.cursor > 0 {
+                conn.buf.clear();
+                conn.cursor = 0;
+            }
+            if !conn.open {
+                // Frames stuck on a dead socket will never flush.
+                counters.queue_depth = counters
+                    .queue_depth
+                    .saturating_sub(conn.frame_ends.len() as u64);
+                conn.frame_ends.clear();
+            }
+        }
+        progressed
+    }
+
+    // ----- teardown ------------------------------------------------
+
+    /// Winds the loop down deterministically: drains until quiescent
+    /// (bounded by a 2-second wall deadline), then closes every socket
+    /// by dropping it and reports anything left behind. Safe to call
+    /// twice; the second call is a no-op returning a clean report.
+    pub fn shutdown(&mut self) -> ShutdownReport {
+        if self.shut {
+            return ShutdownReport::default();
+        }
+        let wall_deadline = crate::wall_now() + Duration::from_secs(2);
+        self.drain(wall_deadline);
+        let report = ShutdownReport {
+            unflushed_frames: self
+                .out_conns
+                .iter()
+                .map(|c| c.frame_ends.len() as u64)
+                .sum(),
+            undecoded_bytes: self
+                .in_conns
+                .iter()
+                .map(|c| c.decoder.pending_bytes() as u64)
+                .sum(),
+            unanswered_requests: self.pending.values().filter(|v| v.is_none()).count() as u64,
+            transport_errors: self.transport_errors,
+        };
+        // Deterministic FD close: every socket dies here, in order.
+        self.out_conns.clear();
+        self.in_conns.clear();
+        self.out_index.clear();
+        self.listeners.clear();
+        self.pending.clear();
+        self.shut = true;
+        report
+    }
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        if self.shut {
+            return;
+        }
+        let report = self.shutdown();
+        // Faulty runs legitimately strand requests and half-frames; a
+        // fault-free loop must wind down clean — be loud otherwise.
+        if !self.faults.enabled() && !report.is_clean() {
+            eprintln!("EventLoop dropped unclean: {report:?}");
+            debug_assert!(false, "EventLoop dropped unclean: {report:?}");
+        }
+    }
+}
+
+/// Re-exported so reports can size per-type arrays without reaching
+/// into [`crate::node`].
+pub const WIRE_MSG_TYPES: usize = MSG_TYPES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MsgType;
+
+    /// 0 ↔ 1 ↔ 2 line with 10 units per direction.
+    fn line3() -> EventLoop {
+        let u = 10_000_000u64;
+        EventLoop::new(
+            vec![
+                HashMap::from([(1, u)]),
+                HashMap::from([(0, u), (2, u)]),
+                HashMap::from([(1, u)]),
+            ],
+            FaultPlan::none(),
+        )
+        .unwrap()
+    }
+
+    fn request(ev: &mut EventLoop, msg: Message) -> Option<Message> {
+        let id = ev.begin_request(msg).unwrap();
+        ev.run_requests(&[id], Duration::from_secs(5));
+        ev.take_reply(id)
+    }
+
+    #[test]
+    fn probe_round_trip_over_the_loop() {
+        let mut ev = line3();
+        let got = request(&mut ev, Message::new(1, MsgType::Probe, vec![0, 1, 2])).unwrap();
+        assert_eq!(got.msg_type, MsgType::ProbeAck);
+        assert_eq!(got.capacities, vec![10_000_000, 10_000_000]);
+        assert!(ev.shutdown().is_clean());
+    }
+
+    #[test]
+    fn full_payment_settles_and_conserves() {
+        let mut ev = line3();
+        let before = ev.total_funds();
+        let mut commit = Message::new(2, MsgType::Commit, vec![0, 1, 2]);
+        commit.commit = 4_000_000;
+        assert_eq!(
+            request(&mut ev, commit).unwrap().msg_type,
+            MsgType::CommitAck
+        );
+        let mut confirm = Message::new(3, MsgType::Confirm, vec![0, 1, 2]);
+        confirm.commit = 4_000_000;
+        assert_eq!(
+            request(&mut ev, confirm).unwrap().msg_type,
+            MsgType::ConfirmAck
+        );
+        assert_eq!(ev.total_funds(), before, "settlement conserves funds");
+        assert_eq!(ev.node(0).balance_to(1), 6_000_000);
+        assert_eq!(ev.node(2).balance_to(1), 14_000_000);
+        // Quiescent and fault-free: every wire frame sent was received.
+        let counters = ev.counters();
+        let sent: u64 = counters.iter().map(|c| c.wire_out()).sum();
+        let received: u64 = counters.iter().map(|c| c.wire_in()).sum();
+        assert_eq!(sent, received);
+        assert!(sent > 0);
+        assert!(ev.shutdown().is_clean());
+    }
+
+    #[test]
+    fn dropped_probe_times_out() {
+        let u = 10_000_000u64;
+        let mut ev = EventLoop::new(
+            vec![
+                HashMap::from([(1, u)]),
+                HashMap::from([(0, u), (2, u)]),
+                HashMap::from([(1, u)]),
+            ],
+            FaultPlan::with_drop_prob(1.0, 7),
+        )
+        .unwrap();
+        let id = ev
+            .begin_request(Message::new(9, MsgType::Probe, vec![0, 1, 2]))
+            .unwrap();
+        ev.run_requests(&[id], Duration::from_millis(100));
+        assert!(ev.take_reply(id).is_none(), "dropped probe must time out");
+        assert!(ev.dropped() > 0);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_closes_everything() {
+        let mut ev = line3();
+        request(&mut ev, Message::new(4, MsgType::Probe, vec![0, 1, 2])).unwrap();
+        let first = ev.shutdown();
+        assert!(first.is_clean(), "{first:?}");
+        let second = ev.shutdown();
+        assert_eq!(second, ShutdownReport::default());
+        assert!(ev.in_conns.is_empty() && ev.out_conns.is_empty() && ev.listeners.is_empty());
+    }
+
+    #[test]
+    fn queue_depth_returns_to_zero_at_quiescence() {
+        let mut ev = line3();
+        for id in 10..20 {
+            request(&mut ev, Message::new(id, MsgType::Probe, vec![0, 1, 2])).unwrap();
+        }
+        for c in ev.counters() {
+            assert_eq!(c.queue_depth, 0);
+        }
+        assert!(ev.counters().iter().any(|c| c.queue_high_water > 0));
+        assert!(ev.shutdown().is_clean());
+    }
+}

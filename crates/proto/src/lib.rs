@@ -2,24 +2,33 @@
 //!
 //! The testbed prototype of §5: a message-level offchain routing system
 //! over **real TCP sockets** on localhost, reimplementing the paper's
-//! Golang prototype in Rust. One thread-backed [`node::Node`] per
-//! participant (the paper used one process per participant), each bound
-//! to its own `127.0.0.1:port`, realizes the three functions "required
-//! by any routing algorithm: source routing, probing, and atomic payment
-//! processing":
+//! Golang prototype in Rust. One [`node::NodeState`] per participant
+//! (the paper used one process per participant), each bound to its own
+//! `127.0.0.1:port` and hosted on a single-threaded poll-based
+//! [`event_loop::EventLoop`] — so one process scales to hundreds of
+//! node actors — realizes the three functions "required by any routing
+//! algorithm: source routing, probing, and atomic payment processing":
 //!
 //! * [`wire`] — the byte-exact message format of Table 1 (`TransID`,
 //!   `Type`, `Path`, `Capacity`, `Commit`) with nine message types:
 //!   `PROBE`/`PROBE_ACK`, `COMMIT`/`COMMIT_ACK`/`COMMIT_NACK`,
 //!   `CONFIRM`/`CONFIRM_ACK`, `REVERSE`/`REVERSE_ACK`.
-//! * [`transport`] — length-prefixed framing and a lazy connection pool.
-//! * [`node`] — the per-node event loop: probe capacity appending,
-//!   hop-by-hop balance escrow on `COMMIT`, rollback on `COMMIT_NACK`,
-//!   reverse-direction crediting on `CONFIRM_ACK`, and forward-direction
-//!   restoration on `REVERSE` (the two-phase commit of §5.1).
+//! * [`transport`] — length-prefixed framing: blocking helpers plus the
+//!   incremental [`transport::FrameDecoder`] the reactor reads through.
+//! * [`node`] — the passive per-node state machine: probe capacity
+//!   appending, hop-by-hop balance escrow on `COMMIT`, rollback on
+//!   `COMMIT_NACK`, reverse-direction crediting on `CONFIRM_ACK`, and
+//!   forward-direction restoration on `REVERSE` (the two-phase commit
+//!   of §5.1) — plus per-node telemetry ([`node::NodeCounters`]) and
+//!   live churn state (closed channels, crashed nodes).
+//! * [`event_loop`] — the reactor: non-blocking listeners and
+//!   connections, readiness polling, request/reply correlation, and a
+//!   deterministic, loud shutdown. No threads, no async runtime.
 //! * [`cluster`] — the orchestrator: launches a cluster and measures
 //!   per-transaction processing delay — the metric of Figures 12/13 —
-//!   plus the probe/commit message breakdown and fees.
+//!   plus the probe/commit message breakdown and fees. Batched probe,
+//!   commit, and settlement waves go through the loop in flight
+//!   together, and `ChurnAction`s apply mid-run.
 //! * [`backend`] — implements [`pcn_sim::PaymentNetwork`] for
 //!   [`Cluster`], mapping probes and payment sessions onto the wire
 //!   protocol. This is what lets **all five** routing schemes from
@@ -35,6 +44,7 @@
 
 pub mod backend;
 pub mod cluster;
+pub mod event_loop;
 pub mod fault;
 pub mod node;
 pub mod transport;
@@ -43,6 +53,8 @@ pub mod wire;
 
 pub use backend::ClusterSession;
 pub use cluster::{Cluster, SchemeKind, TestbedReport, TestbedRunner};
+pub use event_loop::{EventLoop, ShutdownReport};
 pub use fault::FaultPlan;
-pub use wall::wall_now;
+pub use node::NodeCounters;
+pub use wall::{wall_now, WallInstant};
 pub use wire::{Message, MsgType};

@@ -1,20 +1,18 @@
-//! Framed TCP transport and lazy connection pooling.
+//! Framed TCP transport: blocking helpers and an incremental decoder.
 //!
 //! Every message travels as a `u32 length || payload` frame (see
-//! [`crate::wire`]). Each node keeps at most one persistent outbound
-//! connection per peer, opened on first use — mirroring how the
-//! prototype binds each node to "a unique ip address and port number
-//! tuple" and exchanges messages over TCP.
+//! [`crate::wire`]). The blocking [`write_message`]/[`read_message`]
+//! pair serves synchronous call sites (tests, simple clients); the
+//! poll-based [`EventLoop`](crate::event_loop::EventLoop) instead feeds
+//! whatever bytes a non-blocking read returned into a [`FrameDecoder`],
+//! which buffers partial frames across reads and yields complete
+//! messages as they materialize. Both paths enforce the same
+//! [`MAX_FRAME`] bound before allocating.
 
-use crate::fault::FaultPlan;
 use crate::wire::{Message, MAX_FRAME};
-use parking_lot::Mutex;
 use pcn_types::{PcnError, Result};
-use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
-use std::time::Duration;
+use std::net::TcpStream;
 
 /// Writes one framed message to a stream.
 pub fn write_message(stream: &mut TcpStream, msg: &Message) -> Result<()> {
@@ -46,58 +44,59 @@ pub fn read_message(stream: &mut TcpStream) -> Result<Option<Message>> {
     Ok(Some(Message::decode(payload.into())?))
 }
 
-/// Lazy outbound connection pool keyed by node id.
-pub struct ConnPool {
-    addrs: HashMap<u32, SocketAddr>,
-    conns: Mutex<HashMap<u32, TcpStream>>,
-    faults: FaultPlan,
+/// Incremental frame decoder for non-blocking reads.
+///
+/// Feed it byte chunks in arrival order with [`FrameDecoder::feed`];
+/// pop complete messages with [`FrameDecoder::next_message`]. Partial
+/// frames — a length prefix split across TCP segments, a payload
+/// arriving in pieces — are buffered until complete. The frame-length
+/// bound is checked as soon as the prefix is readable, before any
+/// payload accumulates.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted away once
+    /// the cursor passes half the buffer.
+    start: usize,
 }
 
-impl ConnPool {
-    /// Creates a pool over the cluster address book.
-    pub fn new(addrs: HashMap<u32, SocketAddr>) -> Arc<Self> {
-        Self::with_faults(addrs, FaultPlan::none())
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
     }
 
-    /// Creates a pool whose outbound messages pass through a fault plan
-    /// (see [`crate::fault`]).
-    pub fn with_faults(addrs: HashMap<u32, SocketAddr>, faults: FaultPlan) -> Arc<Self> {
-        Arc::new(ConnPool {
-            addrs,
-            conns: Mutex::new(HashMap::new()),
-            faults,
-        })
+    /// Appends newly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
-    /// Sends `msg` to node `to`, connecting on first use. A stale
-    /// connection (peer restarted) is retried once with a fresh one.
-    /// Under an active fault plan the message may be silently dropped —
-    /// the caller sees success, exactly like a lossy network.
-    pub fn send(&self, to: u32, msg: &Message) -> Result<()> {
-        if self.faults.should_drop() {
-            return Ok(());
+    /// Bytes buffered but not yet consumed (partial-frame check).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes the next complete message, if one is buffered. Returns
+    /// `Ok(None)` when more bytes are needed.
+    pub fn next_message(&mut self) -> Result<Option<Message>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
         }
-        let addr = *self
-            .addrs
-            .get(&to)
-            .ok_or_else(|| PcnError::Transport(format!("no address for node {to}")))?;
-        let mut conns = self.conns.lock();
-        if let Some(stream) = conns.get_mut(&to) {
-            if write_message(stream, msg).is_ok() {
-                return Ok(());
-            }
-            conns.remove(&to);
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(PcnError::Codec(format!("invalid frame length {len}")));
         }
-        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-        stream.set_nodelay(true)?;
-        write_message(&mut stream, msg)?;
-        conns.insert(to, stream);
-        Ok(())
-    }
-
-    /// Drops all pooled connections (peers observe EOF).
-    pub fn close_all(&self) {
-        self.conns.lock().clear();
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.start += 4 + len;
+        if self.start > self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(Message::decode(payload.into())?))
     }
 }
 
@@ -134,32 +133,6 @@ mod tests {
     }
 
     #[test]
-    fn pool_reuses_connection() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let handle = std::thread::spawn(move || {
-            let (mut s, _) = listener.accept().unwrap();
-            let mut count = 0;
-            while read_message(&mut s).unwrap().is_some() {
-                count += 1;
-            }
-            count
-        });
-        let pool = ConnPool::new(HashMap::from([(7, addr)]));
-        pool.send(7, &msg(1)).unwrap();
-        pool.send(7, &msg(2)).unwrap();
-        pool.send(7, &msg(3)).unwrap();
-        pool.close_all();
-        assert_eq!(handle.join().unwrap(), 3);
-    }
-
-    #[test]
-    fn unknown_peer_errors() {
-        let pool = ConnPool::new(HashMap::new());
-        assert!(matches!(pool.send(1, &msg(1)), Err(PcnError::Transport(_))));
-    }
-
-    #[test]
     fn oversized_frame_rejected() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -174,5 +147,46 @@ mod tests {
         client.write_all(&[0u8; 16]).unwrap();
         let res = handle.join().unwrap();
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn decoder_handles_split_frames() {
+        let frames: Vec<u8> = [msg(1).encode(), msg(2).encode(), msg(3).encode()]
+            .iter()
+            .flat_map(|b| b.iter().copied())
+            .collect();
+        // Feed one byte at a time: every split point is exercised.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &frames {
+            dec.feed(&[*b]);
+            while let Some(m) = dec.next_message().unwrap() {
+                got.push(m.trans_id);
+            }
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_bad_length_immediately() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(dec.next_message().is_err());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&0u32.to_be_bytes());
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let mut dec = FrameDecoder::new();
+        for id in 0..100 {
+            dec.feed(&msg(id).encode());
+            let m = dec.next_message().unwrap().unwrap();
+            assert_eq!(m.trans_id, id);
+        }
+        assert_eq!(dec.pending_bytes(), 0);
+        assert!(dec.buf.len() < 64, "buffer must not grow unboundedly");
     }
 }

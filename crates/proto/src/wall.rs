@@ -27,3 +27,9 @@ use std::time::Instant;
 pub fn wall_now() -> Instant {
     Instant::now()
 }
+
+/// The wall-clock instant type, for signatures and struct fields in
+/// wall-allowed crates. Rule D1 flags the `std::time::Instant` *path*
+/// outside this file; naming the alias instead keeps every deadline
+/// visibly tied to the single [`wall_now`] entry point.
+pub type WallInstant = Instant;

@@ -1,0 +1,200 @@
+//! Scenario-level integration tests: churn reversal through the escape
+//! hatch, single-process scale, and equivalence with the imperative
+//! [`TestbedRunner`] path.
+
+use pcn_graph::{DiGraph, Path};
+use pcn_proto::{Cluster, SchemeKind, TestbedRunner};
+use pcn_scenario::{Invariant, ScenarioBuilder, TopologySpec, WorkloadSpec};
+use pcn_sim::ChurnAction;
+use pcn_types::{Amount, NodeId, Payment};
+use pcn_workload::testbed_topology;
+use pcn_workload::trace::{generate_trace, TraceConfig};
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// A 3-node line 0 — 1 — 2 with 10-unit bidirectional channels.
+fn line_spec() -> TopologySpec {
+    let mut g = DiGraph::new(3);
+    g.add_channel(n(0), n(1)).unwrap();
+    g.add_channel(n(1), n(2)).unwrap();
+    let balances = vec![Amount::from_units(10); g.edge_count()];
+    TopologySpec::Explicit { graph: g, balances }
+}
+
+/// The churn satellite: a sub-payment committed *before* its channel
+/// closes must still REVERSE cleanly — phase 2 passes through frozen
+/// channels, escrow is restored in the forward direction, and the
+/// wind-down is clean.
+#[test]
+fn in_flight_payment_through_a_closed_channel_reverses_cleanly() {
+    let cluster: Cluster = ScenarioBuilder::new("close-mid-flight", line_spec())
+        .build()
+        .manual_cluster()
+        .unwrap();
+    let before = cluster.total_funds();
+    let path = Path::new(vec![n(0), n(1), n(2)], Some(cluster.graph())).unwrap();
+
+    // Phase 1 succeeds while the path is open: 4 units are escrowed.
+    assert!(cluster.commit_part(1, &path, Amount::from_units(4)));
+
+    // The first channel closes with the payment still in flight.
+    let e01 = cluster.graph().edge(n(0), n(1)).unwrap();
+    cluster.apply_churn(&ChurnAction::ChannelClose(e01));
+    assert!(
+        !cluster.commit_part(2, &path, Amount::from_units(1)),
+        "new commits through the closed channel must NACK"
+    );
+
+    // Phase 2 REVERSE still traverses the frozen channel and restores
+    // the escrow.
+    assert!(
+        cluster.reverse_part(1, &path, Amount::from_units(4)),
+        "reverse must settle through a closed channel"
+    );
+    assert_eq!(cluster.total_funds(), before, "reversal conserves funds");
+
+    // After reopening, the balances are exactly the launch state.
+    cluster.apply_churn(&ChurnAction::ChannelReopen(e01));
+    let caps = cluster.probe(3, &path).unwrap();
+    assert_eq!(caps, vec![10_000_000, 10_000_000], "escrow fully restored");
+
+    let report = cluster.shutdown();
+    assert!(report.is_clean(), "{report:?}");
+}
+
+/// The scale acceptance check: one process hosts 200 event-loop nodes,
+/// routes a real trace, keeps per-node telemetry for every node, and
+/// conserves both funds and wire messages.
+#[test]
+fn two_hundred_nodes_run_in_one_process() {
+    let report = ScenarioBuilder::new(
+        "200-node-smoke",
+        TopologySpec::Testbed {
+            n: 200,
+            lo: 1000,
+            hi: 1500,
+            seed: 11,
+        },
+    )
+    .workload(WorkloadSpec::Ripple { txns: 30, seed: 12 })
+    .scheme(SchemeKind::ShortestPath)
+    .expect(Invariant::FundsConserved)
+    .expect(Invariant::MessagesConserved)
+    .build()
+    .run()
+    .unwrap();
+    assert_eq!(report.nodes, 200);
+    assert_eq!(report.telemetry.len(), 200);
+    assert_eq!(report.attempted, 30);
+    assert!(report.succeeded > 0, "the trace must exercise successes");
+    assert!(
+        report.all_invariants_hold(),
+        "{:?}",
+        report.failed_invariants()
+    );
+    assert!(report.events_per_sec > 0.0);
+    // Telemetry is live, not zero-filled: some node relayed traffic.
+    assert!(report.telemetry.iter().any(|t| t.wire_in() > 0));
+}
+
+/// Zero-fault scenarios reproduce the pre-refactor imperative numbers:
+/// the same topology/trace/router seeds driven through [`TestbedRunner`]
+/// yield identical success counts, volumes, and fees.
+#[test]
+fn zero_fault_scenario_matches_testbed_runner() {
+    let (nodes, txns, seed) = (14usize, 40usize, 501u64);
+    for scheme in [SchemeKind::ShortestPath, SchemeKind::Flash] {
+        // Imperative path.
+        let net = testbed_topology(nodes, 1000, 1500, seed);
+        let graph = net.graph().clone();
+        let balances: Vec<Amount> = graph.edges().map(|(e, _, _)| net.balance(e)).collect();
+        let trace: Vec<Payment> = generate_trace(&graph, &TraceConfig::ripple(txns, seed + 1));
+        let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+        let threshold = flash_core::classify::threshold_for_mice_fraction(&amounts, 0.9);
+        let cluster = Cluster::launch(graph, &balances).unwrap();
+        let mut runner = TestbedRunner::new(cluster, scheme, threshold, seed + 2);
+        let imperative = runner.run_trace(&trace);
+
+        // Declarative path, same seeds end to end.
+        let report = ScenarioBuilder::new(
+            format!("equiv-{}", scheme.name()),
+            TopologySpec::Testbed {
+                n: nodes,
+                lo: 1000,
+                hi: 1500,
+                seed,
+            },
+        )
+        .workload(WorkloadSpec::Ripple {
+            txns,
+            seed: seed + 1,
+        })
+        .scheme(scheme)
+        .seed(seed + 2)
+        .build()
+        .run()
+        .unwrap();
+
+        assert_eq!(report.attempted, imperative.attempted, "{}", scheme.name());
+        assert_eq!(report.succeeded, imperative.succeeded, "{}", scheme.name());
+        assert_eq!(
+            report.success_volume_micros,
+            imperative.success_volume.micros(),
+            "{}",
+            scheme.name()
+        );
+        assert_eq!(
+            report.fees_micros,
+            imperative.fees_paid.micros(),
+            "{}",
+            scheme.name()
+        );
+        assert_eq!(
+            report.probe_messages,
+            imperative.probe_messages,
+            "{}",
+            scheme.name()
+        );
+        assert_eq!(
+            report.commit_messages,
+            imperative.commit_messages,
+            "{}",
+            scheme.name()
+        );
+    }
+}
+
+/// Dedicated telemetry conservation check under load: every wire frame
+/// any node sent was received by its peer (the loop drains to true
+/// quiescence between requests).
+#[test]
+fn wire_telemetry_conserves_under_load() {
+    let report = ScenarioBuilder::new(
+        "conservation",
+        TopologySpec::Testbed {
+            n: 30,
+            lo: 1000,
+            hi: 1500,
+            seed: 21,
+        },
+    )
+    .workload(WorkloadSpec::Ripple { txns: 40, seed: 22 })
+    .scheme(SchemeKind::Flash)
+    .expect(Invariant::MessagesConserved)
+    .build()
+    .run()
+    .unwrap();
+    assert!(
+        report.all_invariants_hold(),
+        "{:?}",
+        report.failed_invariants()
+    );
+    let sum_in: u64 = report.telemetry.iter().map(|t| t.wire_in()).sum();
+    let sum_out: u64 = report.telemetry.iter().map(|t| t.wire_out()).sum();
+    assert_eq!(sum_in, sum_out);
+    assert_eq!(sum_in, report.wire_in);
+    // At quiescence nothing is escrowed and no queue holds frames.
+    assert!(report.telemetry.iter().all(|t| t.escrow_held == 0));
+}

@@ -21,6 +21,7 @@ use flash_offchain::core::{
     SpiderRouter,
 };
 use flash_offchain::proto::{Cluster, SchemeKind};
+use flash_offchain::scenario::{Invariant, ScenarioBuilder, TopologySpec, WorkloadSpec};
 use flash_offchain::sim::{Network, Router};
 use flash_offchain::types::{Amount, Payment};
 use flash_offchain::workload::testbed_topology;
@@ -112,6 +113,69 @@ fn assert_parity(scheme: SchemeKind, nodes: usize, txns: usize, seed: u64) {
     // The trace must exercise both outcomes to be a meaningful diff.
     let successes = sim_net.metrics().total().succeeded;
     assert!(successes > 0, "{}: nothing succeeded", scheme.name());
+}
+
+/// The declarative path must agree with the imperative one: a scenario
+/// described through `ScenarioBuilder` — same topology seed, same trace
+/// seed, same router seed — reproduces the simulator's per-payment
+/// outcomes exactly, and its wire telemetry conserves (every frame sent
+/// was received).
+fn assert_scenario_parity(scheme: SchemeKind, nodes: usize, txns: usize, seed: u64) {
+    let mut sim_net = testbed_topology(nodes, 1000, 1500, seed);
+    let trace: Vec<Payment> = generate_trace(sim_net.graph(), &TraceConfig::ripple(txns, seed + 1));
+    let amounts: Vec<Amount> = trace.iter().map(|p| p.amount).collect();
+    let threshold = threshold_for_mice_fraction(&amounts, 0.9);
+    let (mut sim_router, _) = router_pair(scheme, threshold, seed + 2);
+    let sim_outcomes: Vec<bool> = trace
+        .iter()
+        .map(|p| {
+            sim_router
+                .route(&mut sim_net, p, p.classify(threshold))
+                .is_success()
+        })
+        .collect();
+
+    let report = ScenarioBuilder::new(
+        format!("parity-{}", scheme.name()),
+        TopologySpec::Testbed {
+            n: nodes,
+            lo: 1000,
+            hi: 1500,
+            seed,
+        },
+    )
+    .workload(WorkloadSpec::Ripple {
+        txns,
+        seed: seed + 1,
+    })
+    .scheme(scheme)
+    .seed(seed + 2)
+    .expect(Invariant::FundsConserved)
+    .expect(Invariant::MessagesConserved)
+    .build()
+    .run()
+    .expect("scenario run");
+
+    assert_eq!(
+        report.outcomes,
+        sim_outcomes,
+        "{}: scenario outcomes diverged from the simulator",
+        scheme.name()
+    );
+    assert!(
+        report.all_invariants_hold(),
+        "{}: {:?}",
+        scheme.name(),
+        report.failed_invariants()
+    );
+    assert!(report.succeeded > 0, "{}: nothing succeeded", scheme.name());
+}
+
+#[test]
+fn scenario_agrees_with_simulator_for_all_schemes() {
+    for scheme in SchemeKind::ALL {
+        assert_scenario_parity(scheme, 14, 50, 401);
+    }
 }
 
 #[test]
