@@ -35,6 +35,25 @@ fn graph_kernels(c: &mut Criterion) {
     c.bench_function("dinic_scaling_500n", |b| {
         b.iter(|| black_box(maxflow::dinic_scaling(g, s, t, &caps).value))
     });
+    c.bench_function("push_relabel_500n", |b| {
+        b.iter(|| black_box(maxflow::push_relabel(g, s, t, &caps).value))
+    });
+    c.bench_function("warm_restart_4deltas_500n", |b| {
+        // One capacity nudge per solve — the ElephantOracle /
+        // WarmFlowBound pattern of repeated max-flow queries against a
+        // slowly drifting network.
+        b.iter_batched(
+            || maxflow::IncrementalMaxFlow::new(g, s, t, &caps),
+            |mut inc| {
+                for round in 0..4u64 {
+                    let e = pcn_graph::EdgeId(((round * 7919) % g.edge_count() as u64) as u32);
+                    inc.set_capacity(e, 1 + round * 50);
+                    black_box(inc.solve().value);
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
     c.bench_function("flow_decompose_500n", |b| {
         let mf = maxflow::dinic(g, s, t, &caps);
         b.iter(|| black_box(maxflow::decompose_into_paths(g, s, t, &mf)))

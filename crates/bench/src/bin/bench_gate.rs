@@ -10,7 +10,9 @@
 //! regressions fail; identical latency percentiles across a ≥4×
 //! offered-load spread fail as physically suspicious; the churn sweep
 //! must cover ≥3 rates with strictly degrading success; max-flow
-//! values must be identical; wall-clock deltas only warn). The delta table
+//! values must be identical, the fastest non-oracle kernel must beat
+//! the Edmonds–Karp oracle — by >2× at lightning scale — and
+//! warm-start must beat cold restart; wall-clock deltas only warn). The delta table
 //! and findings are printed to stdout and appended to
 //! `$GITHUB_STEP_SUMMARY` when that variable is set, so the per-PR
 //! deltas are readable from the Actions run page without downloading

@@ -5,16 +5,23 @@
 //! ```
 //!
 //! Times every [`MaxFlowSolver`] kernel (Edmonds–Karp oracle, Dinic,
-//! Dinic + capacity scaling) over a fixed set of source/sink pairs on
-//! the Watts–Strogatz testbed family and the scale-free Ripple/Lightning
-//! stand-ins, cross-checks that all kernels report identical flow
-//! values (a differential test at bench scale), and writes the numbers
-//! to `BENCH_maxflow.json` (default) so the kernel's perf trajectory is
-//! tracked across PRs. `--smoke` shrinks the topologies for CI.
+//! Dinic + capacity scaling, push-relabel) over a fixed set of
+//! source/sink pairs on the Watts–Strogatz testbed family and the
+//! scale-free Ripple/Lightning stand-ins, cross-checks that all kernels
+//! report identical flow values (a differential test at bench scale),
+//! runs a warm-vs-cold payment-delta workload through
+//! [`IncrementalMaxFlow`] (`warm-start` applies per-batch capacity
+//! deltas to a live residual graph; `cold-restart` re-solves each batch
+//! from scratch — same flows, so the gap is pure warm-start savings),
+//! and writes the numbers to `BENCH_maxflow.json` (default) so the
+//! kernel's perf trajectory is tracked across PRs. `bench_gate maxflow`
+//! *fails* when the fastest non-oracle kernel stops beating the oracle
+//! (>2× at lightning scale) or warm-start stops beating cold restart.
+//! `--smoke` shrinks the topologies for CI.
 
 use pcn_graph::generators;
-use pcn_graph::maxflow::{Dinic, EdmondsKarp, MaxFlowSolver};
-use pcn_graph::DiGraph;
+use pcn_graph::maxflow::{Dinic, EdmondsKarp, IncrementalMaxFlow, MaxFlowSolver, PushRelabel};
+use pcn_graph::{DiGraph, EdgeId};
 use pcn_types::NodeId;
 use serde::Serialize;
 
@@ -119,6 +126,7 @@ fn main() {
         Box::new(EdmondsKarp),
         Box::new(Dinic::new()),
         Box::new(Dinic::with_capacity_scaling()),
+        Box::new(PushRelabel),
     ];
 
     let mut records: Vec<Record> = Vec::new();
@@ -165,6 +173,71 @@ fn main() {
                 total_flow: total_flow / *iters as u64,
             });
             println!("{name:>22} {:>14}: {:>12} ns/pair", solver.name(), per_pair);
+        }
+
+        // Warm-vs-cold payment-delta workload: one long-lived (s, t)
+        // query re-solved after each batch of capacity deltas (the few
+        // channels a committed payment debits). `warm-start` keeps the
+        // residual graph alive; `cold-restart` rebuilds and re-solves
+        // from scratch each batch. Identical per-batch values are
+        // asserted, so `total_flow` matches between the two records and
+        // the timing gap is pure warm-start savings.
+        let batches = if smoke { 24 } else { 48 };
+        let deltas_per_batch = 4;
+        let (s, t) = st[0];
+        let delta_at = |b: u64, j: u64, m: u64| -> (usize, u64) {
+            let h = (b * 1_000 + j).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let edge = (h % m) as usize;
+            let cap = 1 + ((h >> 17) % 1_000_000);
+            (edge, cap)
+        };
+        let m = g.edge_count() as u64;
+
+        let mut warm = IncrementalMaxFlow::new(g, s, t, &caps);
+        let mut warm_values = Vec::with_capacity(batches);
+        let wall_warm = pcn_proto::wall_now();
+        for b in 0..batches {
+            for j in 0..deltas_per_batch {
+                let (edge, cap) = delta_at(b as u64, j, m);
+                warm.set_capacity(EdgeId(edge as u32), cap);
+            }
+            warm_values.push(warm.solve().value);
+        }
+        let warm_ns = wall_warm.elapsed().as_nanos() / batches as u128;
+        let warm_total: u64 = warm_values.iter().sum();
+
+        let mut cold_caps = caps.clone();
+        let mut cold_total = 0u64;
+        let wall_cold = pcn_proto::wall_now();
+        for (b, &warm_value) in warm_values.iter().enumerate() {
+            for j in 0..deltas_per_batch {
+                let (edge, cap) = delta_at(b as u64, j, m);
+                cold_caps[edge] = cap;
+            }
+            let value = IncrementalMaxFlow::new(g, s, t, &cold_caps).solve().value;
+            assert_eq!(
+                value, warm_value,
+                "warm and cold disagree on {name} batch {b}"
+            );
+            cold_total += value;
+        }
+        let cold_ns = wall_cold.elapsed().as_nanos() / batches as u128;
+
+        for (kernel, ns, total) in [
+            ("warm-start", warm_ns, warm_total),
+            ("cold-restart", cold_ns, cold_total),
+        ] {
+            records.push(Record {
+                topology: (*name).to_string(),
+                nodes: g.node_count(),
+                directed_edges: g.edge_count(),
+                kernel: kernel.to_string(),
+                pairs: batches,
+                iters_per_pair: 1,
+                mean_ns_per_pair: u64::try_from(ns).unwrap_or(u64::MAX),
+                total_flow: total,
+            });
+            println!("{name:>22} {kernel:>14}: {ns:>12} ns/batch");
         }
     }
 

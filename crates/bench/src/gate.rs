@@ -26,7 +26,12 @@
 //!   churn bench carries the same kind of check: success must
 //!   *strictly* degrade as the churn rate rises across ≥3 rates per
 //!   scheme ([`gate_churn`]) — a flat curve means churn events are
-//!   not actually reaching the engine.
+//!   not actually reaching the engine. The max-flow bench hard-fails
+//!   on within-run wall-time *ratios* (robust to runner speed, unlike
+//!   absolute deltas): the fastest non-oracle kernel must beat
+//!   Edmonds–Karp everywhere (>2× on the ≥1000-node lightning-scale
+//!   topology, the ROADMAP win condition) and warm-start must beat a
+//!   cold restart with identical total flow ([`gate_maxflow`]).
 //!
 //! The library half (this module) is pure string-in/report-out so the
 //! gate itself is testable — `crates/bench/tests/gate.rs` replays the
@@ -786,7 +791,12 @@ fn check_testbed_shape(records: &[TestbedRecord], report: &mut GateReport) {
 
 /// Gates a regenerated max-flow bench against the committed one, both
 /// as JSON text. Flow values are hard-gated (they are deterministic);
-/// wall-clock timings only warn.
+/// wall-clock *deltas* against the baseline only warn. Within-run
+/// wall-time ratios hard-fail on shape: the fastest non-oracle kernel
+/// must beat the Edmonds–Karp oracle on every topology (by >2× on
+/// ≥1000-node lightning-scale topologies), and where a warm-vs-cold
+/// pair was recorded, `warm-start` must beat `cold-restart` and carry
+/// an identical total flow.
 pub fn gate_maxflow(baseline: &str, candidate: &str) -> Result<GateReport, String> {
     let base: Vec<MaxflowRecord> =
         serde_json::from_str(baseline).map_err(|e| format!("baseline: {e:?}"))?;
@@ -854,6 +864,70 @@ pub fn gate_maxflow(baseline: &str, candidate: &str) -> Result<GateReport, Strin
              schema or configuration drift; regenerate the committed file"
                 .into(),
         );
+    }
+
+    // Shape checks on the candidate alone (they fail even against
+    // itself): the kernels exist to beat the oracle, and warm-start
+    // exists to beat a cold restart. Both are wall-time *ratios within
+    // one run* on one machine, so unlike the absolute deltas above they
+    // are robust to CI hardware variance and can hard-fail.
+    let mut topologies: Vec<&str> = Vec::new();
+    for c in &cand {
+        if !topologies.contains(&c.topology.as_str()) {
+            topologies.push(&c.topology);
+        }
+    }
+    for topo in topologies {
+        let recs: Vec<&MaxflowRecord> = cand.iter().filter(|c| c.topology == topo).collect();
+        let oracle = recs.iter().find(|r| r.kernel == "edmonds-karp");
+        let fastest = recs
+            .iter()
+            .filter(|r| {
+                !matches!(
+                    r.kernel.as_str(),
+                    "edmonds-karp" | "warm-start" | "cold-restart"
+                )
+            })
+            .min_by_key(|r| (r.mean_ns_per_pair, &r.kernel));
+        if let (Some(o), Some(f)) = (oracle, fastest) {
+            if f.mean_ns_per_pair >= o.mean_ns_per_pair {
+                report.fail(format!(
+                    "{topo}: fastest kernel {} ({} ns/pair) does not beat the \
+                     Edmonds–Karp oracle ({} ns/pair) — the hot path has no \
+                     reason to exist; see docs/maxflow.md",
+                    f.kernel, f.mean_ns_per_pair, o.mean_ns_per_pair
+                ));
+            } else if topo.contains("lightning")
+                && f.nodes >= 1000
+                && f.mean_ns_per_pair.saturating_mul(2) > o.mean_ns_per_pair
+            {
+                report.fail(format!(
+                    "{topo}: fastest kernel {} ({} ns/pair) beats the oracle \
+                     ({} ns/pair) by less than 2× at lightning scale — the \
+                     ROADMAP win condition regressed",
+                    f.kernel, f.mean_ns_per_pair, o.mean_ns_per_pair
+                ));
+            }
+        }
+        let warm = recs.iter().find(|r| r.kernel == "warm-start");
+        let cold = recs.iter().find(|r| r.kernel == "cold-restart");
+        if let (Some(w), Some(c)) = (warm, cold) {
+            if w.total_flow != c.total_flow {
+                report.fail(format!(
+                    "{topo}: warm-start total flow {} != cold-restart total flow {} \
+                     — incremental re-solve is computing a different flow",
+                    w.total_flow, c.total_flow
+                ));
+            }
+            if w.mean_ns_per_pair >= c.mean_ns_per_pair {
+                report.fail(format!(
+                    "{topo}: warm-start ({} ns/batch) is not faster than a cold \
+                     restart ({} ns/batch) — the incremental path has no reason \
+                     to exist",
+                    w.mean_ns_per_pair, c.mean_ns_per_pair
+                ));
+            }
+        }
     }
     report.sort();
     Ok(report)

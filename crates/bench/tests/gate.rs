@@ -309,10 +309,20 @@ const MAXFLOW_BASE: &str = r#"[
   {"topology":"ws_100","nodes":100,"directed_edges":800,"kernel":"edmonds-karp","pairs":4,"iters_per_pair":1,"mean_ns_per_pair":1500,"total_flow":5000}
 ]"#;
 
+/// `oracle_fastest_maxflow.json`: every kernel loses to the
+/// Edmonds–Karp oracle at lightning scale — the state this PR's
+/// predecessor trajectory was actually in.
+const ORACLE_FASTEST: &str = include_str!("fixtures/oracle_fastest_maxflow.json");
+
+/// `warm_slower_maxflow.json`: kernels are healthy but the warm-start
+/// record is slower than the cold restart it exists to beat.
+const WARM_SLOWER: &str = include_str!("fixtures/warm_slower_maxflow.json");
+
 #[test]
 fn maxflow_gate_fails_on_flow_drift_but_only_warns_on_wall_time() {
-    // Same flows, 3× slower: pass with a warning (CI hardware noise).
-    let slower = MAXFLOW_BASE.replace("\"mean_ns_per_pair\":1000", "\"mean_ns_per_pair\":3000");
+    // Same flows, 40% slower (still beating the oracle): pass with a
+    // warning (CI hardware noise).
+    let slower = MAXFLOW_BASE.replace("\"mean_ns_per_pair\":1000", "\"mean_ns_per_pair\":1400");
     let report = gate_maxflow(MAXFLOW_BASE, &slower).expect("parses");
     assert!(report.passed(), "{:#?}", report.findings);
     assert!(report
@@ -328,6 +338,64 @@ fn maxflow_gate_fails_on_flow_drift_but_only_warns_on_wall_time() {
         .findings
         .iter()
         .any(|f| f.severity == Severity::Fail && f.message.contains("total flow drifted")));
+}
+
+#[test]
+fn maxflow_gate_rejects_oracle_beating_every_kernel() {
+    // The shape check fails even against itself: a trajectory whose
+    // fastest kernel loses to the oracle is rejected outright.
+    let report = gate_maxflow(ORACLE_FASTEST, ORACLE_FASTEST).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("does not beat")));
+}
+
+#[test]
+fn maxflow_gate_enforces_two_x_at_lightning_scale() {
+    // Beating the oracle but by less than 2× on a ≥1000-node lightning
+    // topology regresses the ROADMAP win condition.
+    let barely = ORACLE_FASTEST.replace(
+        "\"kernel\":\"push-relabel\",\"pairs\":6,\"iters_per_pair\":3,\"mean_ns_per_pair\":1900000",
+        "\"kernel\":\"push-relabel\",\"pairs\":6,\"iters_per_pair\":3,\"mean_ns_per_pair\":1000000",
+    );
+    let report = gate_maxflow(&barely, &barely).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("less than 2×")));
+
+    // At 2× and beyond the shape is healthy again.
+    let won = ORACLE_FASTEST.replace(
+        "\"kernel\":\"push-relabel\",\"pairs\":6,\"iters_per_pair\":3,\"mean_ns_per_pair\":1900000",
+        "\"kernel\":\"push-relabel\",\"pairs\":6,\"iters_per_pair\":3,\"mean_ns_per_pair\":700000",
+    );
+    let report = gate_maxflow(&won, &won).expect("parses");
+    assert!(report.passed(), "{:#?}", report.findings);
+}
+
+#[test]
+fn maxflow_gate_rejects_warm_start_slower_than_cold() {
+    let report = gate_maxflow(WARM_SLOWER, WARM_SLOWER).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("not faster than a cold")));
+
+    // A warm-cold flow mismatch is a correctness failure on top.
+    let drifted = WARM_SLOWER.replace(
+        "\"kernel\":\"warm-start\",\"pairs\":48,\"iters_per_pair\":1,\"mean_ns_per_pair\":5000000,\"total_flow\":430000",
+        "\"kernel\":\"warm-start\",\"pairs\":48,\"iters_per_pair\":1,\"mean_ns_per_pair\":3000000,\"total_flow\":430001",
+    );
+    let report = gate_maxflow(&drifted, &drifted).expect("parses");
+    assert!(!report.passed());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("different flow")));
 }
 
 fn testbed_record(scheme: &str, nodes: usize, ratio: f64, wire_in: u64, wire_out: u64) -> String {

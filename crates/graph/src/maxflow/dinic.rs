@@ -1,4 +1,4 @@
-//! Dinic's blocking-flow maximum flow — the hot-path kernel.
+//! Dinic's blocking-flow maximum flow.
 //!
 //! Level-graph BFS plus blocking-flow DFS with iterator-position
 //! memoization, O(V²·E) worst case and far faster in practice on the
@@ -7,11 +7,16 @@
 //! optional capacity-scaling mode restricts each round to arcs with
 //! residual ≥ Δ, halving Δ down to 1 — worthwhile when capacities span
 //! many orders of magnitude (satoshi-denominated Lightning channels).
+//!
+//! The phase machinery itself lives in [`super::csr::DinicSearch`] on
+//! the shared CSR residual graph: this file is the cold-solve entry
+//! point, and [`super::IncrementalMaxFlow`] reuses the same search for
+//! warm re-solves after capacity deltas.
 
+use super::csr::{CsrResidual, DinicSearch};
 use super::{cancel_opposing_flows, MaxFlow};
 use crate::DiGraph;
 use pcn_types::NodeId;
-use std::collections::VecDeque;
 
 /// Computes the maximum `s → t` flow with Dinic's algorithm.
 ///
@@ -36,126 +41,6 @@ pub fn dinic_scaling(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64]) -> Max
     dinic_run(g, s, t, capacity, true)
 }
 
-/// Residual network in paired-arc form: physical edge `e` owns arcs
-/// `2e` (forward, residual = remaining capacity) and `2e ^ 1` (undo,
-/// residual = flow already pushed on `e`). Adjacency is CSR-flattened so
-/// the DFS cursor is a single `usize` per node.
-struct Residual {
-    /// Head node of each arc.
-    to: Vec<u32>,
-    /// Residual capacity of each arc.
-    cap: Vec<u64>,
-    /// CSR arc ids: `adj[start[u]..start[u + 1]]` are the arcs leaving `u`.
-    adj: Vec<u32>,
-    /// CSR row offsets, length `n + 1`.
-    start: Vec<usize>,
-}
-
-impl Residual {
-    // Every `vec!` below is part of the per-solve arena: sized once from
-    // the graph, never grown or reallocated inside the search loops.
-    fn build(g: &DiGraph, capacity: &[u64]) -> Self {
-        let n = g.node_count();
-        let m = g.edge_count();
-        let mut to = vec![0u32; 2 * m]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        let mut cap = vec![0u64; 2 * m]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        let mut deg = vec![0usize; n]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        for (e, u, v) in g.edges() {
-            to[2 * e.index()] = v.0;
-            cap[2 * e.index()] = capacity[e.index()];
-            to[2 * e.index() + 1] = u.0;
-            deg[u.index()] += 1;
-            deg[v.index()] += 1;
-        }
-        let mut start = vec![0usize; n + 1]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        for i in 0..n {
-            start[i + 1] = start[i] + deg[i];
-        }
-        let mut fill = start.clone(); // pcn-lint: allow(hot-alloc) — per-solve CSR fill cursor
-        let mut adj = vec![0u32; 2 * m]; // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        for (e, u, v) in g.edges() {
-            adj[fill[u.index()]] = (2 * e.index()) as u32;
-            fill[u.index()] += 1;
-            adj[fill[v.index()]] = (2 * e.index() + 1) as u32;
-            fill[v.index()] += 1;
-        }
-        Residual {
-            to,
-            cap,
-            adj,
-            start,
-        }
-    }
-}
-
-/// Per-run state: the level graph and the DFS arc cursors.
-struct Search<'a> {
-    r: &'a mut Residual,
-    level: Vec<u32>,
-    /// `it[u]` indexes into `r.adj`; arcs before it are known saturated
-    /// or level-infeasible for the current phase (the memoization that
-    /// makes blocking flow O(V·E) per phase).
-    it: Vec<usize>,
-    /// BFS frontier, hoisted out of [`Search::bfs`] so the per-phase
-    /// (and, under scaling, per-Δ-round) level rebuilds reuse one
-    /// buffer instead of allocating a fresh queue each sweep.
-    frontier: VecDeque<usize>,
-    delta: u64,
-    t: usize,
-}
-
-const UNREACHED: u32 = u32::MAX;
-
-impl Search<'_> {
-    /// Rebuilds the level graph; `true` iff `t` is reachable through
-    /// arcs with residual ≥ `delta`.
-    fn bfs(&mut self, s: usize) -> bool {
-        self.level.fill(UNREACHED);
-        self.level[s] = 0;
-        self.frontier.clear();
-        self.frontier.push_back(s);
-        while let Some(u) = self.frontier.pop_front() {
-            for &a in &self.r.adj[self.r.start[u]..self.r.start[u + 1]] {
-                let a = a as usize;
-                let v = self.r.to[a] as usize;
-                if self.r.cap[a] >= self.delta && self.level[v] == UNREACHED {
-                    self.level[v] = self.level[u] + 1;
-                    if v == self.t {
-                        return true;
-                    }
-                    self.frontier.push_back(v);
-                }
-            }
-        }
-        false
-    }
-
-    /// Pushes one augmenting path of value ≤ `limit` along the level
-    /// graph; 0 when `u` has no remaining level-feasible outlet.
-    fn dfs(&mut self, u: usize, limit: u64) -> u64 {
-        if u == self.t {
-            return limit;
-        }
-        while self.it[u] < self.r.start[u + 1] {
-            let a = self.r.adj[self.it[u]] as usize;
-            let v = self.r.to[a] as usize;
-            if self.r.cap[a] >= self.delta && self.level[v] == self.level[u] + 1 {
-                let pushed = self.dfs(v, limit.min(self.r.cap[a]));
-                if pushed > 0 {
-                    self.r.cap[a] -= pushed;
-                    self.r.cap[a ^ 1] += pushed;
-                    return pushed;
-                }
-            }
-            // Arc is dead for this phase (saturated below Δ, wrong level,
-            // or its subtree is exhausted) — never look at it again.
-            self.it[u] += 1;
-        }
-        0
-    }
-}
-
-// pcn-lint: hot — the maxflow kernel; allocations here are per-solve arenas only
 fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool) -> MaxFlow {
     assert_eq!(
         capacity.len(),
@@ -169,7 +54,7 @@ fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool)
             edge_flow: vec![0; g.edge_count()], // pcn-lint: allow(hot-alloc) — degenerate-query result, once per solve
         };
     }
-    let mut residual = Residual::build(g, capacity);
+    let mut residual = CsrResidual::build(g, capacity);
     let delta = if scaling {
         let max = capacity.iter().copied().max().unwrap_or(0);
         if max == 0 {
@@ -181,40 +66,9 @@ fn dinic_run(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64], scaling: bool)
     } else {
         1
     };
-    let mut search = Search {
-        r: &mut residual,
-        level: vec![UNREACHED; n], // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        it: vec![0; n],            // pcn-lint: allow(hot-alloc) — per-solve arena, sized once
-        frontier: VecDeque::with_capacity(n), // pcn-lint: allow(hot-alloc) — per-solve BFS frontier, reused across phases
-        delta,
-        t: t.index(),
-    };
-    let mut value = 0u64;
-    loop {
-        if !search.bfs(s.index()) {
-            if search.delta > 1 {
-                search.delta /= 2;
-                continue;
-            }
-            break;
-        }
-        // Blocking flow: restart cursors, then exhaust the level graph.
-        for (u, it) in search.it.iter_mut().enumerate() {
-            *it = search.r.start[u];
-        }
-        loop {
-            let pushed = search.dfs(s.index(), u64::MAX);
-            if pushed == 0 {
-                break;
-            }
-            value += pushed;
-        }
-    }
-    // Flow on physical edge e is exactly the residual accumulated on its
-    // undo arc.
-    let mut flow: Vec<u64> = (0..g.edge_count())
-        .map(|e| residual.cap[2 * e + 1])
-        .collect(); // pcn-lint: allow(hot-alloc) — the result vector itself, once per solve
+    let mut search = DinicSearch::new(n);
+    let value = search.augment_to_max(&mut residual, s.index(), t.index(), delta);
+    let mut flow = residual.edge_flows();
     cancel_opposing_flows(g, &mut flow);
     MaxFlow {
         value,

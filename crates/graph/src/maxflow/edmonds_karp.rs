@@ -1,17 +1,21 @@
 //! Classic Edmonds–Karp maximum flow — the differential-testing oracle.
 //!
-//! This is the textbook algorithm (BFS augmenting paths on the residual
-//! graph) with *full* capacity knowledge. Flash cannot use it directly —
-//! "probing each channel of each path whenever an elephant payment arrives
-//! does not scale" (§3.2) — and at O(V·E²) it is also the wrong kernel for
-//! Lightning-scale topologies (use [`super::dinic`] there). It earns its
-//! keep as the *oracle*: it shares no residual-graph machinery with the
-//! Dinic implementation, so agreement between the two on random digraphs
-//! (see the property tests in [`super`]) is strong evidence both are
-//! correct.
+//! The textbook algorithm: one BFS per augmentation, always along a
+//! *shortest* residual path, O(V·E²). Flash cannot use it directly —
+//! "probing each channel of each path whenever an elephant payment
+//! arrives does not scale" (§3.2) — and it is the wrong kernel for
+//! Lightning-scale topologies (use [`super::push_relabel`] or
+//! [`super::dinic`] there). It earns its keep as the *oracle*: while
+//! every kernel now shares the same CSR residual layout (so layout bugs
+//! are caught by the unit fixtures, not hidden by duplication), the
+//! *search strategies* are algorithmically independent — one shortest
+//! path per BFS here, blocking flows in Dinic, local preflow pushes in
+//! push-relabel — so agreement on random digraphs (see the property
+//! tests in [`super`]) is strong evidence all of them are correct.
 
+use super::csr::{bfs_augment_once, CsrResidual, ARC_NONE};
 use super::{cancel_opposing_flows, MaxFlow};
-use crate::{DiGraph, EdgeId};
+use crate::DiGraph;
 use pcn_types::NodeId;
 use std::collections::VecDeque;
 
@@ -20,102 +24,43 @@ use std::collections::VecDeque;
 ///
 /// Residual arcs come in two kinds: forward physical edges with remaining
 /// capacity, and "undo" arcs that walk a flow-carrying physical edge
-/// backwards. Flows pushed on the two directions of a bidirectional
-/// channel additionally cancel at the end (partial payments on different
-/// directions of the same channel offset each other), so the reported
-/// per-edge flows are net.
+/// backwards (`arc ^ 1` in the shared CSR layout). Flows pushed on the
+/// two directions of a bidirectional channel additionally cancel at the
+/// end (partial payments on different directions of the same channel
+/// offset each other), so the reported per-edge flows are net.
 pub fn edmonds_karp(g: &DiGraph, s: NodeId, t: NodeId, capacity: &[u64]) -> MaxFlow {
     assert_eq!(
         capacity.len(),
         g.edge_count(),
         "capacity table size mismatch"
     );
-    let mut flow = vec![0u64; g.edge_count()];
-    let mut value = 0u64;
-    if s == t || s.index() >= g.node_count() || t.index() >= g.node_count() {
+    let n = g.node_count();
+    if s == t || s.index() >= n || t.index() >= n {
         return MaxFlow {
             value: 0,
-            edge_flow: flow,
+            edge_flow: vec![0; g.edge_count()],
         };
     }
-
-    // Remaining forward capacity of edge e. This deliberately does NOT
-    // fold in any reverse-flow credit: undoing flow already pushed on `e`
-    // is represented by the explicit undo arcs the BFS below walks via
-    // `in_neighbors`, and the opposite direction of a bidirectional
-    // channel is its own physical edge with its own capacity entry.
-    let residual = |e: EdgeId, flow: &[u64]| -> u64 { capacity[e.index()] - flow[e.index()] };
-
+    let mut residual = CsrResidual::build(g, capacity);
+    let mut pred = vec![ARC_NONE; n];
+    let mut frontier = VecDeque::with_capacity(n);
+    let mut value = 0u64;
     loop {
-        // BFS on the residual graph. Arcs: forward physical edges with
-        // remaining capacity, plus "undo" arcs v→u for each physical edge
-        // u→v carrying flow.
-        let n = g.node_count();
-        // pred[v] = (u, e, is_forward): the arc that discovered v.
-        let mut pred: Vec<Option<(NodeId, EdgeId, bool)>> = vec![None; n];
-        let mut visited = vec![false; n];
-        visited[s.index()] = true;
-        let mut q = VecDeque::new();
-        q.push_back(s);
-        'bfs: while let Some(u) = q.pop_front() {
-            for &(v, e) in g.out_neighbors(u) {
-                if !visited[v.index()] && residual(e, &flow) > 0 {
-                    visited[v.index()] = true;
-                    pred[v.index()] = Some((u, e, true));
-                    if v == t {
-                        break 'bfs;
-                    }
-                    q.push_back(v);
-                }
-            }
-            // Undo arcs: for each edge w→u carrying flow, we may push
-            // back u→w.
-            for &(w, e) in g.in_neighbors(u) {
-                if !visited[w.index()] && flow[e.index()] > 0 {
-                    visited[w.index()] = true;
-                    pred[w.index()] = Some((u, e, false));
-                    if w == t {
-                        break 'bfs;
-                    }
-                    q.push_back(w);
-                }
-            }
-        }
-        if !visited[t.index()] {
+        let pushed = bfs_augment_once(
+            &mut residual,
+            s.index(),
+            t.index(),
+            u64::MAX,
+            &mut pred,
+            &mut frontier,
+        );
+        if pushed == 0 {
             break;
         }
-        // Bottleneck along the augmenting path.
-        let mut bottleneck = u64::MAX;
-        let mut cur = t;
-        while cur != s {
-            // pcn-lint: allow(panic) — BFS recorded pred for every node on the augmenting path
-            let (pu, e, forward) = pred[cur.index()].unwrap();
-            let avail = if forward {
-                residual(e, &flow)
-            } else {
-                flow[e.index()]
-            };
-            bottleneck = bottleneck.min(avail);
-            cur = pu;
-        }
-        debug_assert!(bottleneck > 0);
-        // Apply.
-        let mut cur = t;
-        while cur != s {
-            // pcn-lint: allow(panic) — same augmenting path as the bottleneck pass above
-            let (pu, e, forward) = pred[cur.index()].unwrap();
-            if forward {
-                flow[e.index()] += bottleneck;
-            } else {
-                flow[e.index()] -= bottleneck;
-            }
-            cur = pu;
-        }
-        value += bottleneck;
+        value += pushed;
     }
-
+    let mut flow = residual.edge_flows();
     cancel_opposing_flows(g, &mut flow);
-
     MaxFlow {
         value,
         edge_flow: flow,

@@ -1,13 +1,14 @@
 //! Cross-kernel max-flow properties on the paper's generator
-//! topologies: Dinic (plain and capacity-scaling) must agree with the
-//! Edmonds–Karp oracle on value and min cut, produce feasible conserving
-//! flows, and decompose into executable paths that reassemble the full
-//! value — the guarantees `flash-core`'s oracle and the Figure 11
-//! `m = 0` bound silently rely on.
+//! topologies: Dinic (plain and capacity-scaling) and highest-label
+//! push-relabel must agree with the Edmonds–Karp oracle on value and
+//! min cut, produce feasible conserving flows, and decompose into
+//! executable paths that reassemble the full value — the guarantees
+//! `flash-core`'s oracle and the Figure 11 `m = 0` bound silently
+//! rely on.
 
 use flash_offchain::graph::maxflow::{
-    decompose_into_paths, dinic, dinic_scaling, edmonds_karp, min_cut_capacity, Dinic, EdmondsKarp,
-    MaxFlow, MaxFlowSolver,
+    decompose_into_paths, dinic, dinic_scaling, edmonds_karp, min_cut_capacity, push_relabel,
+    Dinic, EdmondsKarp, MaxFlow, MaxFlowSolver, PushRelabel,
 };
 use flash_offchain::graph::{generators, DiGraph};
 use flash_offchain::types::NodeId;
@@ -39,9 +40,11 @@ proptest! {
         let ek = edmonds_karp(&g, s, t, &caps);
         let di = dinic(&g, s, t, &caps);
         let ds = dinic_scaling(&g, s, t, &caps);
+        let pr = push_relabel(&g, s, t, &caps);
         prop_assert_eq!(di.value, ek.value);
         prop_assert_eq!(ds.value, ek.value);
-        for mf in [&ek, &di, &ds] {
+        prop_assert_eq!(pr.value, ek.value);
+        for mf in [&ek, &di, &ds, &pr] {
             prop_assert_eq!(min_cut_capacity(&g, s, mf, &caps), mf.value);
         }
     }
@@ -93,6 +96,7 @@ fn solver_trait_is_uniform() {
         Box::new(EdmondsKarp),
         Box::new(Dinic::new()),
         Box::new(Dinic::with_capacity_scaling()),
+        Box::new(PushRelabel),
     ];
     let values: Vec<u64> = solvers
         .iter()
@@ -100,7 +104,10 @@ fn solver_trait_is_uniform() {
         .collect();
     assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
     let names: Vec<&str> = solvers.iter().map(|sv| sv.name()).collect();
-    assert_eq!(names, ["edmonds-karp", "dinic", "dinic-scaling"]);
+    assert_eq!(
+        names,
+        ["edmonds-karp", "dinic", "dinic-scaling", "push-relabel"]
+    );
 }
 
 /// A decomposition case where the pre-rewrite walk order mattered: the
